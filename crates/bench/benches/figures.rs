@@ -1,0 +1,93 @@
+//! Per-figure analysis benchmarks: one benchmark per table/figure analysis
+//! stage, timed over a shared pre-built diagnosis so criterion iterations
+//! stay cheap. (Full regeneration including simulation is the `experiments`
+//! binary; these measure the *measurement* cost itself.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use hpc_diagnosis::advisor::advise;
+use hpc_diagnosis::external::{
+    error_vs_failure_daily, hourly_blade_warnings, nhf_breakdown_weekly, nhf_correspondence,
+    nvf_correspondence, sedc_census_weekly, temperature_map,
+};
+use hpc_diagnosis::interarrival::{dominant_cause_per_day, weekly_job_triggered_mtbf, weekly_mtbf};
+use hpc_diagnosis::jobs::{exit_census_daily, overallocation_analysis, shared_job_groups, JobLog};
+use hpc_diagnosis::lead_time::{false_positive_analysis, lead_times};
+use hpc_diagnosis::prediction::{evaluate, PredictorConfig};
+use hpc_diagnosis::report::{case_studies, padded_window};
+use hpc_diagnosis::root_cause::{CauseBreakdown, PatternCensus};
+use hpc_diagnosis::spatial::{same_reason_share_weekly, spatial_correlation};
+use hpc_diagnosis::stack_trace::module_table;
+use hpc_diagnosis::{Diagnosis, DiagnosisConfig};
+use hpc_faultsim::Scenario;
+use hpc_logs::time::SimDuration;
+use hpc_platform::SystemId;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut sc = Scenario::new(SystemId::S1, 2, 14, 8);
+    sc.config.telemetry_blades = 8;
+    sc.workload.overalloc_job_prob = 0.05;
+    sc.config.inject_overalloc_ooms = true;
+    let out = sc.run();
+    let d = Diagnosis::from_archive(&out.archive, DiagnosisConfig::default());
+    let jobs = JobLog::from_diagnosis(&d);
+    let (from, to) = padded_window(&d);
+
+    let mut g = c.benchmark_group("figures");
+    g.bench_function("fig3_weekly_mtbf", |b| b.iter(|| weekly_mtbf(&d)));
+    g.bench_function("fig4_dominant_cause", |b| {
+        b.iter(|| dominant_cause_per_day(&d, 3))
+    });
+    g.bench_function("fig5_nvf_nhf_correspondence", |b| {
+        b.iter(|| (nvf_correspondence(&d), nhf_correspondence(&d)))
+    });
+    g.bench_function("fig6_nhf_breakdown", |b| {
+        b.iter(|| nhf_breakdown_weekly(&d))
+    });
+    g.bench_function("fig7_spatial_correlation", |b| {
+        b.iter(|| spatial_correlation(&d, from, to))
+    });
+    g.bench_function("fig8_sedc_census", |b| b.iter(|| sedc_census_weekly(&d)));
+    g.bench_function("fig9_hourly_warnings", |b| {
+        b.iter(|| hourly_blade_warnings(&d, 1))
+    });
+    g.bench_function("fig10_error_vs_failure", |b| {
+        b.iter(|| error_vs_failure_daily(&d))
+    });
+    g.bench_function("fig11_temperature_map", |b| b.iter(|| temperature_map(&d)));
+    g.bench_function("fig12_exit_census", |b| b.iter(|| exit_census_daily(&jobs)));
+    g.bench_function("fig13_lead_times", |b| b.iter(|| lead_times(&d)));
+    g.bench_function("fig14_false_positives", |b| {
+        b.iter(|| false_positive_analysis(&d))
+    });
+    g.bench_function("fig15_pattern_census", |b| {
+        b.iter(|| PatternCensus::compute(&d))
+    });
+    g.bench_function("fig16_cause_breakdown", |b| {
+        b.iter(|| CauseBreakdown::compute(&d))
+    });
+    g.bench_function("fig17_overallocation", |b| {
+        b.iter(|| overallocation_analysis(&d, &jobs))
+    });
+    g.bench_function("fig18_same_reason_share", |b| {
+        b.iter(|| same_reason_share_weekly(&d, 3, SimDuration::from_mins(10)))
+    });
+    g.bench_function("fig19_job_mtbf", |b| {
+        b.iter(|| weekly_job_triggered_mtbf(&d))
+    });
+    g.bench_function("table4_module_table", |b| b.iter(|| module_table(&d)));
+    g.bench_function("table5_case_studies", |b| {
+        b.iter(|| case_studies(&d, &jobs))
+    });
+    g.bench_function("obs8_shared_job_groups", |b| {
+        b.iter(|| shared_job_groups(&d, &jobs, 2))
+    });
+    g.bench_function("ext_predictor_evaluate", |b| {
+        b.iter(|| evaluate(&d, &PredictorConfig::default().with_external()))
+    });
+    g.bench_function("advisor_advise", |b| b.iter(|| advise(&d, &jobs)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Ingest-layer benchmarks: rendering, parsing, merging.
+//!
+//! Covers DESIGN.md ablations #2 (k-way merge vs concat-and-sort) and #5
+//! (parallel vs sequential per-source parsing).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use hpc_diagnosis::{Diagnosis, DiagnosisConfig};
+use hpc_faultsim::Scenario;
+use hpc_logs::archive::merge_by_time;
+use hpc_logs::event::LogSource;
+use hpc_logs::parse::LogParser;
+use hpc_platform::SystemId;
+
+fn archive() -> hpc_faultsim::SimOutput {
+    Scenario::new(SystemId::S1, 2, 3, 1).run()
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let out = archive();
+    let mut group = c.benchmark_group("ingest/parse");
+    for source in LogSource::ALL {
+        let lines = out.archive.lines(source);
+        if lines.is_empty() {
+            continue;
+        }
+        let bytes: u64 = lines.iter().map(|l| l.len() as u64 + 1).sum();
+        group.throughput(Throughput::Bytes(bytes));
+        group.bench_function(format!("{source:?}").to_lowercase(), |b| {
+            b.iter(|| LogParser::parse_stream(source, lines.iter().map(|s| s.as_str())))
+        });
+    }
+    group.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let out = archive();
+    let per_source: Vec<Vec<hpc_logs::LogEvent>> = LogSource::ALL
+        .iter()
+        .map(|s| out.archive.parse_source(*s).0)
+        .collect();
+    let total: usize = per_source.iter().map(Vec::len).sum();
+
+    let mut group = c.benchmark_group("ingest/merge");
+    group.throughput(Throughput::Elements(total as u64));
+    group.bench_function("kway_heap", |b| {
+        b.iter_batched(|| per_source.clone(), merge_by_time, BatchSize::LargeInput)
+    });
+    group.bench_function("concat_sort", |b| {
+        b.iter_batched(
+            || per_source.clone(),
+            |sources| {
+                let mut all: Vec<_> = sources.into_iter().flatten().collect();
+                all.sort_by_key(|e| e.time);
+                all
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_ingest_parallelism(c: &mut Criterion) {
+    let out = archive();
+    let mut group = c.benchmark_group("ingest/full");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(out.archive.total_bytes()));
+    for parallel in [false, true] {
+        let label = if parallel { "parallel" } else { "sequential" };
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                Diagnosis::from_archive(
+                    &out.archive,
+                    DiagnosisConfig {
+                        parallel_ingest: parallel,
+                        ..DiagnosisConfig::default()
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse, bench_merge, bench_ingest_parallelism);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Pipeline benchmarks: end-to-end scaling and the external-window
+//! ablation (DESIGN.md #3), plus the text-vs-structured ingest ablation
+//! (DESIGN.md #1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use hpc_diagnosis::lead_time::lead_times;
+use hpc_diagnosis::root_cause::classify_all;
+use hpc_diagnosis::{Diagnosis, DiagnosisConfig};
+use hpc_faultsim::Scenario;
+use hpc_logs::time::SimDuration;
+use hpc_platform::SystemId;
+
+fn bench_end_to_end_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline/end_to_end");
+    group.sample_size(10);
+    for days in [1u64, 3, 7] {
+        let out = Scenario::new(SystemId::S1, 2, days, 2).run();
+        group.throughput(Throughput::Bytes(out.archive.total_bytes()));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{days}d")),
+            &out,
+            |b, out| b.iter(|| Diagnosis::from_archive(&out.archive, DiagnosisConfig::default())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_structured_fast_path(c: &mut Criterion) {
+    // Ablation #1: consuming pre-parsed structured events instead of text.
+    let out = Scenario::new(SystemId::S1, 2, 3, 3).run();
+    let parsed = out.archive.parse_merged();
+    let mut group = c.benchmark_group("pipeline/ingest_ablation");
+    group.sample_size(10);
+    group.bench_function("from_text", |b| {
+        b.iter(|| Diagnosis::from_archive(&out.archive, DiagnosisConfig::default()))
+    });
+    group.bench_function("from_structured", |b| {
+        b.iter(|| Diagnosis::from_events(parsed.events.clone(), 0, DiagnosisConfig::default()))
+    });
+    group.finish();
+}
+
+fn bench_analyses(c: &mut Criterion) {
+    let out = Scenario::new(SystemId::S1, 2, 7, 4).run();
+    let d = Diagnosis::from_archive(&out.archive, DiagnosisConfig::default());
+    let mut group = c.benchmark_group("pipeline/analyses");
+    group.bench_function("classify_all", |b| b.iter(|| classify_all(&d)));
+    group.bench_function("lead_times", |b| b.iter(|| lead_times(&d)));
+    group.bench_function("detection_only", |b| {
+        b.iter(|| hpc_diagnosis::detection::detect_failures(&d.events))
+    });
+    group.finish();
+}
+
+fn bench_external_window_sweep(c: &mut Criterion) {
+    // Ablation #3: how the external-correlation window drives lead-time
+    // analysis cost (and, in EXPERIMENTS.md, its findings).
+    let out = Scenario::new(SystemId::S1, 2, 7, 5).run();
+    let mut group = c.benchmark_group("pipeline/external_window");
+    for hours in [1u64, 2, 6, 24] {
+        let d = Diagnosis::from_archive(
+            &out.archive,
+            DiagnosisConfig {
+                external_window: SimDuration::from_hours(hours),
+                ..DiagnosisConfig::default()
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{hours}h")),
+            &d,
+            |b, d| b.iter(|| lead_times(d)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_end_to_end_scaling,
+    bench_structured_fast_path,
+    bench_analyses,
+    bench_external_window_sweep
+);
+criterion_main!(benches);

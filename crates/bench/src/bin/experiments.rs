@@ -1,0 +1,73 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p hpc-bench --bin experiments -- list
+//! cargo run --release -p hpc-bench --bin experiments -- fig13
+//! cargo run --release -p hpc-bench --bin experiments -- all
+//! cargo run --release -p hpc-bench --bin experiments -- all --out results/
+//! ```
+//!
+//! With `--out DIR`, each experiment's output is additionally written to
+//! `DIR/<id>.txt`.
+
+use std::path::PathBuf;
+
+use hpc_bench::{find, EXPERIMENTS};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let out_dir: Option<PathBuf> = args.iter().position(|a| a == "--out").map(|i| {
+        let dir = args
+            .get(i + 1)
+            .unwrap_or_else(|| {
+                eprintln!("--out requires a directory");
+                std::process::exit(2);
+            })
+            .clone();
+        args.drain(i..=i + 1);
+        PathBuf::from(dir)
+    });
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+            eprintln!("cannot create {}: {e}", dir.display());
+            std::process::exit(1);
+        });
+    }
+    let emit = |id: &str, text: &str| {
+        print!("{text}");
+        if let Some(dir) = &out_dir {
+            if let Err(e) = std::fs::write(dir.join(format!("{id}.txt")), text) {
+                eprintln!("cannot write {id}.txt: {e}");
+            }
+        }
+    };
+
+    if args.is_empty() || args[0] == "list" {
+        eprintln!("usage: experiments <id>|all|list [--out DIR]\n\navailable experiments:");
+        for e in EXPERIMENTS {
+            eprintln!("  {:<16} {}", e.id, e.description);
+        }
+        return;
+    }
+    if args[0] == "all" {
+        for e in EXPERIMENTS {
+            eprintln!("[running {}]", e.id);
+            emit(e.id, &(e.run)());
+            println!();
+        }
+        return;
+    }
+    let mut failed = false;
+    for id in &args {
+        match find(id) {
+            Some(e) => emit(e.id, &(e.run)()),
+            None => {
+                eprintln!("unknown experiment {id:?} (try `experiments list`)");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(2);
+    }
+}

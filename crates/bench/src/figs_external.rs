@@ -1,0 +1,198 @@
+//! Figures 5–11 — external/environmental correlation experiments.
+
+use std::fmt::Write;
+
+use hpc_diagnosis::external::{
+    error_vs_failure_daily, hourly_blade_warnings, nhf_breakdown_weekly, nhf_correspondence,
+    nvf_correspondence, sedc_census_weekly, temperature_map,
+};
+use hpc_diagnosis::report::padded_window;
+use hpc_diagnosis::spatial::spatial_correlation;
+use hpc_platform::{BladeId, NodeId, SystemId};
+
+use crate::common::{header, run_and_diagnose, scenario};
+
+/// Fig. 5 — % of NVFs and NHFs corresponding to failed nodes, S1–S4.
+pub fn fig5() -> String {
+    let mut s = header(
+        "fig5",
+        "NVF / NHF correspondence with failures (S1–S4)",
+        "67%–97% of NVFs relate to failures; only 21%–64% of NHFs do (≈43% on average)",
+    );
+    s.push_str("  system | NVFs | NVF→failure | NHFs | NHF→failure\n");
+    for (system, seed) in [
+        (SystemId::S1, 5u64),
+        (SystemId::S2, 6),
+        (SystemId::S3, 7),
+        (SystemId::S4, 8),
+    ] {
+        let (_, d) = run_and_diagnose(&scenario(system, 56, seed));
+        let nvf = nvf_correspondence(&d);
+        let nhf = nhf_correspondence(&d);
+        let _ = writeln!(
+            s,
+            "  {:>6} | {:>4} | {:>10.1}% | {:>4} | {:>10.1}%",
+            system.name(),
+            nvf.total,
+            nvf.percent(),
+            nhf.total,
+            nhf.percent()
+        );
+    }
+    s
+}
+
+/// Fig. 6 — NHF outcome breakdown over 7 weeks, S1.
+pub fn fig6() -> String {
+    let mut s = header(
+        "fig6",
+        "NHF outcome breakdown (S1, 7 weeks)",
+        "most NHFs in W1/W4 were failures; elsewhere >50%; rest are powered-off or skipped heartbeats",
+    );
+    let (_, d) = run_and_diagnose(&scenario(SystemId::S1, 49, 6));
+    s.push_str("  week | NHFs | failures | powered-off | skipped | fail%\n");
+    for w in nhf_breakdown_weekly(&d) {
+        let _ = writeln!(
+            s,
+            "  W{:<3} | {:>4} | {:>8} | {:>11} | {:>7} | {:>4.1}%",
+            w.week + 1,
+            w.total(),
+            w.failures,
+            w.powered_off,
+            w.skipped,
+            w.failure_percent()
+        );
+    }
+    s
+}
+
+/// Fig. 7 — % of failures on faulty blades / in faulty cabinets, S1–S4.
+pub fn fig7() -> String {
+    let mut s = header(
+        "fig7",
+        "Failures on faulty blades/cabinets (S1–S4, 2 months)",
+        "23%–59% of failures belong to faulty blades, 19%–58% to faulty cabinets (weak correlation)",
+    );
+    s.push_str("  system | failures | on faulty blades | in faulty cabinets\n");
+    for (system, seed) in [
+        (SystemId::S1, 9u64),
+        (SystemId::S2, 10),
+        (SystemId::S3, 11),
+        (SystemId::S4, 12),
+    ] {
+        let (_, d) = run_and_diagnose(&scenario(system, 60, seed));
+        let (from, to) = padded_window(&d);
+        let sc = spatial_correlation(&d, from, to);
+        let _ = writeln!(
+            s,
+            "  {:>6} | {:>8} | {:>15.1}% | {:>17.1}%",
+            system.name(),
+            sc.failures,
+            sc.blade_percent(),
+            sc.cabinet_percent()
+        );
+    }
+    s
+}
+
+/// Fig. 8 — unique blades with SEDC warnings vs units with health faults
+/// per week, S1.
+pub fn fig8() -> String {
+    let mut s = header(
+        "fig8",
+        "Weekly SEDC census (S1)",
+        "unique blades with SEDC warnings 5–226; blades+cabinets with health faults 24–240 (±21)",
+    );
+    let (_, d) = run_and_diagnose(&scenario(SystemId::S1, 56, 8));
+    s.push_str("  week | blades w/ SEDC warnings | blades+cabinets w/ health faults\n");
+    for w in sedc_census_weekly(&d) {
+        let _ = writeln!(
+            s,
+            "  W{:<3} | {:>23} | {:>32}",
+            w.week + 1,
+            w.blades_with_warnings,
+            w.units_with_faults
+        );
+    }
+    s
+}
+
+/// Fig. 9 — hourly warning frequency of chatty blades through one day, S2.
+pub fn fig9() -> String {
+    let mut s = header(
+        "fig9",
+        "Recurring BC-CC warnings per blade per hour (S2, 1 day)",
+        "blades 1, 5, 8 exceed 1400 mean recurring warnings; blade 7 stops after a certain hour",
+    );
+    let (_, d) = run_and_diagnose(&scenario(SystemId::S2, 3, 9));
+    let map = hourly_blade_warnings(&d, 1);
+    // Top chatty blades by daily total.
+    let mut blades: Vec<(BladeId, u64)> = map
+        .iter()
+        .map(|(b, hours)| (*b, hours.iter().sum()))
+        .collect();
+    blades.sort_by_key(|(_, n)| std::cmp::Reverse(*n));
+    for (blade, total) in blades.iter().take(8) {
+        let hours = &map[blade];
+        let last_active = hours.iter().rposition(|h| *h > 0).unwrap_or(0);
+        let _ = writeln!(
+            s,
+            "  {:<12} {:>6} warnings/day, active through hour {:>2}, per-hour: {:?}",
+            blade.cname().to_string(),
+            total,
+            last_active,
+            &hours[..12]
+        );
+    }
+    if blades.is_empty() {
+        s.push_str("  (no warnings this day)\n");
+    }
+    s
+}
+
+/// Fig. 10 — nodes with errors vs failed nodes over 16 days, S1.
+pub fn fig10() -> String {
+    let mut s = header(
+        "fig10",
+        "Erroneous vs failed nodes per day (S1, 16 days)",
+        "nodes with HW errors / MCEs / Lustre I/O errors far exceed failed nodes (<6); page-fault locks > HW errors",
+    );
+    let (_, d) = run_and_diagnose(&scenario(SystemId::S1, 16, 10));
+    s.push_str("  day | hw-error nodes | mce nodes | lustre-I/O nodes | failed\n");
+    for day in error_vs_failure_daily(&d) {
+        let _ = writeln!(
+            s,
+            "  {:>3} | {:>14} | {:>9} | {:>16} | {:>6}",
+            day.day, day.hw_error_nodes, day.mce_nodes, day.lustre_nodes, day.failed_nodes
+        );
+    }
+    s
+}
+
+/// Fig. 11 — mean CPU temperature of 2 nodes per blade across 16 blades.
+pub fn fig11() -> String {
+    let mut s = header(
+        "fig11",
+        "Mean CPU temperature, 2 nodes × 16 blades (S1, 1 day)",
+        "steady ≈40 °C everywhere; one powered-off node (B2/Node0) reads 0 °C — temperature does not aid RCA",
+    );
+    let mut sc = scenario(SystemId::S1, 1, 11);
+    sc.config.telemetry_blades = 16;
+    // B2 / Node0: blade index 2, channel 0 → node 8.
+    sc.config.telemetry_off_nodes = vec![NodeId(8)];
+    let (_, d) = run_and_diagnose(&sc);
+    let map = temperature_map(&d);
+    s.push_str("  blade | node0 mean °C | node1 mean °C\n");
+    for b in 0..16u32 {
+        let t0 = map
+            .get(&(BladeId(b), 0))
+            .map(|x| x.mean)
+            .unwrap_or(f64::NAN);
+        let t1 = map
+            .get(&(BladeId(b), 1))
+            .map(|x| x.mean)
+            .unwrap_or(f64::NAN);
+        let _ = writeln!(s, "  B{:<4} | {:>13.1} | {:>13.1}", b, t0, t1);
+    }
+    s
+}

@@ -1,0 +1,238 @@
+//! Failure detection: finding manifested node failures in parsed logs.
+//!
+//! Step 1 of the paper's methodology (§II-A): "We track confirmed failure
+//! indications in the node-specific logs." The confirmed terminal
+//! signatures are:
+//!
+//! * a kernel panic in the console log,
+//! * an abrupt `unexpectedly shut down` console message,
+//! * the scheduler marking a node `admindown` (NHC) or `down`.
+//!
+//! Intended shutdowns (`reboot: System halted`) are recognised and excluded
+//! (§III: "We recognize and exclude intended shutdowns"), and multiple
+//! terminal signatures of one incident (a panic followed by the scheduler's
+//! `down` notice) are deduplicated into a single failure.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use hpc_logs::event::{ConsoleDetail, LogEvent, NodeState, PanicReason, Payload, SchedulerDetail};
+use hpc_logs::time::{SimDuration, SimTime};
+use hpc_platform::NodeId;
+
+/// How a failure manifested.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TerminalKind {
+    /// Kernel panic with its reason string.
+    Panic(PanicReason),
+    /// Abrupt shutdown with no panic.
+    UnexpectedShutdown,
+    /// NHC took the node to admindown.
+    AdminDown,
+    /// Scheduler marked the node down (crash noticed via heartbeats) with
+    /// no earlier console terminal — rare, usually deduplicated away.
+    SchedulerDown,
+}
+
+/// One detected node failure.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DetectedFailure {
+    /// The failed node.
+    pub node: NodeId,
+    /// Manifestation time (earliest terminal signature of the incident).
+    pub time: SimTime,
+    /// How it manifested.
+    pub terminal: TerminalKind,
+}
+
+/// Terminal signatures of one event, if any.
+fn terminal_of(event: &LogEvent) -> Option<(NodeId, TerminalKind)> {
+    match &event.payload {
+        Payload::Console { node, detail } => match detail {
+            ConsoleDetail::KernelPanic { reason } => Some((*node, TerminalKind::Panic(*reason))),
+            ConsoleDetail::UnexpectedShutdown => Some((*node, TerminalKind::UnexpectedShutdown)),
+            // GracefulShutdown is intended — excluded by design.
+            _ => None,
+        },
+        Payload::Scheduler {
+            detail: SchedulerDetail::NodeStateChange { node, state },
+        } => match state {
+            NodeState::AdminDown => Some((*node, TerminalKind::AdminDown)),
+            NodeState::Down => Some((*node, TerminalKind::SchedulerDown)),
+            _ => None,
+        },
+        Payload::Scheduler { .. } => None,
+        _ => None,
+    }
+}
+
+/// Two terminal signatures on the same node within this window describe the
+/// same incident (a panic is followed by the scheduler's down notice about
+/// a minute later).
+pub const DEDUP_WINDOW: SimDuration = SimDuration::from_mins(10);
+
+/// Detects failures in a chronological event stream.
+///
+/// Console terminals are preferred over the scheduler's `down` echo: within
+/// [`DEDUP_WINDOW`] of an incident's first signature, later signatures are
+/// folded into it, except that a `SchedulerDown`-first incident upgrades to
+/// a more specific terminal if one arrives inside the window (out-of-order
+/// manifestation does not occur in practice since crash detection lags the
+/// crash).
+pub fn detect_failures(events: &[LogEvent]) -> Vec<DetectedFailure> {
+    debug_assert!(
+        events.windows(2).all(|w| w[0].time <= w[1].time),
+        "detect_failures expects chronological input"
+    );
+    let mut per_node: BTreeMap<NodeId, Vec<DetectedFailure>> = BTreeMap::new();
+    for event in events {
+        let Some((node, terminal)) = terminal_of(event) else {
+            continue;
+        };
+        let list = per_node.entry(node).or_default();
+        match list.last_mut() {
+            Some(last) if event.time.since(last.time) <= DEDUP_WINDOW => {
+                // Same incident: upgrade a bare scheduler-down to the more
+                // specific signature if it arrives late (defensive; the
+                // usual order is panic first).
+                if last.terminal == TerminalKind::SchedulerDown
+                    && terminal != TerminalKind::SchedulerDown
+                {
+                    last.terminal = terminal;
+                }
+            }
+            _ => list.push(DetectedFailure {
+                node,
+                time: event.time,
+                terminal,
+            }),
+        }
+    }
+    let mut all: Vec<DetectedFailure> = per_node.into_values().flatten().collect();
+    all.sort_by_key(|f| (f.time, f.node));
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpc_logs::event::Payload;
+
+    fn panic_ev(ms: u64, node: u32, reason: PanicReason) -> LogEvent {
+        LogEvent {
+            time: SimTime::from_millis(ms),
+            payload: Payload::Console {
+                node: NodeId(node),
+                detail: ConsoleDetail::KernelPanic { reason },
+            },
+        }
+    }
+
+    fn state_ev(ms: u64, node: u32, state: NodeState) -> LogEvent {
+        LogEvent {
+            time: SimTime::from_millis(ms),
+            payload: Payload::Scheduler {
+                detail: SchedulerDetail::NodeStateChange {
+                    node: NodeId(node),
+                    state,
+                },
+            },
+        }
+    }
+
+    fn graceful_ev(ms: u64, node: u32) -> LogEvent {
+        LogEvent {
+            time: SimTime::from_millis(ms),
+            payload: Payload::Console {
+                node: NodeId(node),
+                detail: ConsoleDetail::GracefulShutdown,
+            },
+        }
+    }
+
+    #[test]
+    fn panic_plus_down_is_one_failure() {
+        let events = vec![
+            panic_ev(1_000, 7, PanicReason::FatalMce),
+            state_ev(61_000, 7, NodeState::Down),
+        ];
+        let failures = detect_failures(&events);
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].node, NodeId(7));
+        assert_eq!(failures[0].time, SimTime::from_millis(1_000));
+        assert_eq!(
+            failures[0].terminal,
+            TerminalKind::Panic(PanicReason::FatalMce)
+        );
+    }
+
+    #[test]
+    fn distinct_incidents_beyond_window_are_separate() {
+        let gap = DEDUP_WINDOW.as_millis() + 1;
+        let events = vec![
+            panic_ev(0, 3, PanicReason::KernelBug),
+            panic_ev(gap, 3, PanicReason::KernelBug),
+        ];
+        assert_eq!(detect_failures(&events).len(), 2);
+    }
+
+    #[test]
+    fn graceful_shutdown_is_excluded() {
+        let events = vec![graceful_ev(0, 1)];
+        assert!(detect_failures(&events).is_empty());
+    }
+
+    #[test]
+    fn admindown_detected_but_not_suspect_or_poweroff() {
+        let events = vec![
+            state_ev(0, 2, NodeState::Suspect),
+            state_ev(1_000, 2, NodeState::AdminDown),
+            state_ev(2_000, 9, NodeState::PoweredOff),
+            state_ev(3_000, 9, NodeState::Up),
+        ];
+        let failures = detect_failures(&events);
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].terminal, TerminalKind::AdminDown);
+        assert_eq!(failures[0].node, NodeId(2));
+    }
+
+    #[test]
+    fn bare_scheduler_down_upgrades_if_specific_signature_follows() {
+        let events = vec![
+            state_ev(0, 4, NodeState::Down),
+            panic_ev(30_000, 4, PanicReason::LustreBug),
+        ];
+        let failures = detect_failures(&events);
+        assert_eq!(failures.len(), 1);
+        assert_eq!(
+            failures[0].terminal,
+            TerminalKind::Panic(PanicReason::LustreBug)
+        );
+        // Time stays at the first signature.
+        assert_eq!(failures[0].time, SimTime::EPOCH);
+    }
+
+    #[test]
+    fn failures_on_different_nodes_never_merge() {
+        let events = vec![
+            panic_ev(0, 1, PanicReason::FatalMce),
+            panic_ev(1, 2, PanicReason::FatalMce),
+        ];
+        assert_eq!(detect_failures(&events).len(), 2);
+    }
+
+    #[test]
+    fn output_is_time_sorted() {
+        let events = vec![
+            panic_ev(5_000, 9, PanicReason::KernelBug),
+            panic_ev(5_000, 1, PanicReason::KernelBug),
+            state_ev(700_000 + 5_000, 9, NodeState::AdminDown),
+        ];
+        let failures = detect_failures(&events);
+        assert_eq!(failures.len(), 3);
+        assert!(failures.windows(2).all(|w| w[0].time <= w[1].time));
+        // Tie broken by node id.
+        assert_eq!(failures[0].node, NodeId(1));
+    }
+}

@@ -1,0 +1,40 @@
+//! # hpc-diagnosis
+//!
+//! The paper's primary contribution as a reusable library: holistic,
+//! measurement-driven diagnosis of node failures from raw text logs.
+//!
+//! ```text
+//!   text logs ──► pipeline (parse ∥, merge, detect, index)
+//!                  ├─► root_cause     (Table IV/V rules, Fig. 15/16)
+//!                  ├─► interarrival   (Fig. 3/4/19, Obs. 1)
+//!                  ├─► spatial        (Fig. 7/18, Obs. 2/8)
+//!                  ├─► external       (Fig. 5/6/8/9/10/11, Obs. 2/3)
+//!                  ├─► jobs           (Fig. 12/17, Obs. 6)
+//!                  ├─► lead_time      (Fig. 13/14, Obs. 5)
+//!                  ├─► stack_trace    (Table IV)
+//!                  ├─► report         (Tables V/VI)
+//!                  ├─► prediction     (online predictor built on Obs. 5)
+//!                  └─► advisor        (Table VI as operator actions)
+//! ```
+//!
+//! The pipeline consumes only rendered log text (via
+//! [`hpc_logs::LogArchive`]); ground truth from the fault simulator is used
+//! exclusively by tests to validate the inferences.
+
+pub mod advisor;
+pub mod detection;
+pub mod external;
+pub mod interarrival;
+pub mod jobs;
+pub mod lead_time;
+pub mod pipeline;
+pub mod prediction;
+pub mod report;
+pub mod root_cause;
+pub mod spatial;
+pub mod stack_trace;
+pub mod swo;
+
+pub use detection::{DetectedFailure, TerminalKind};
+pub use pipeline::{Diagnosis, DiagnosisConfig};
+pub use root_cause::{CauseBreakdown, CauseClass, Fig16Bucket, InferredCause};

@@ -1,0 +1,342 @@
+//! Online failure prediction over the log stream.
+//!
+//! The paper frames its contribution as *boosting failure-prediction
+//! schemes* (Obs. 5: external correlations enhance lead times and reduce
+//! false positives). This module operationalises that: a sliding, debounced
+//! predictor that raises an alert on fault-indicative internal events —
+//! optionally gated on a correlated external indicator — and an offline
+//! evaluator producing the precision / recall / lead-time numbers a site
+//! would use to tune it.
+//!
+//! The evaluation is strictly *causal*: an alert at time *t* may only use
+//! events at or before *t*.
+
+use serde::{Deserialize, Serialize};
+
+use hpc_logs::time::{SimDuration, SimTime};
+use hpc_platform::NodeId;
+
+use crate::detection::{DetectedFailure, TerminalKind};
+use crate::lead_time::{is_external_indicator, is_indicative_internal};
+use crate::pipeline::Diagnosis;
+
+/// Predictor tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PredictorConfig {
+    /// Gate alerts on a correlated external indicator within
+    /// `external_window` before the internal symptom (the paper's
+    /// enhancement; fewer but better alerts).
+    pub require_external: bool,
+    /// How far back external correlation searches.
+    pub external_window: SimDuration,
+    /// How long an alert remains valid: a failure within this horizon
+    /// counts as predicted.
+    pub horizon: SimDuration,
+    /// Minimum spacing between alerts per node (debounce).
+    pub debounce: SimDuration,
+}
+
+impl Default for PredictorConfig {
+    fn default() -> PredictorConfig {
+        PredictorConfig {
+            require_external: false,
+            external_window: SimDuration::from_hours(2),
+            horizon: SimDuration::from_hours(6),
+            debounce: SimDuration::from_hours(1),
+        }
+    }
+}
+
+impl PredictorConfig {
+    /// The externally-correlated variant of this configuration.
+    pub fn with_external(self) -> PredictorConfig {
+        PredictorConfig {
+            require_external: true,
+            ..self
+        }
+    }
+}
+
+/// One raised alert.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Alert {
+    /// Node the alert concerns.
+    pub node: NodeId,
+    /// When it was raised.
+    pub time: SimTime,
+    /// Whether an external correlate backed it.
+    pub backed_by_external: bool,
+}
+
+/// Offline evaluation of a predictor run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluation {
+    /// All alerts raised, chronological.
+    pub alerts: Vec<Alert>,
+    /// Alerts followed by a failure of that node within the horizon.
+    pub true_positives: usize,
+    /// Alerts with no such failure.
+    pub false_positives: usize,
+    /// Failures with at least one alert in the preceding horizon.
+    pub predicted_failures: usize,
+    /// Failures with none.
+    pub missed_failures: usize,
+    /// Mean achieved lead time over predicted failures, minutes (alert →
+    /// manifestation).
+    pub mean_lead_mins: f64,
+}
+
+impl Evaluation {
+    /// Alert precision: TP / (TP + FP).
+    pub fn precision(&self) -> f64 {
+        ratio(
+            self.true_positives,
+            self.true_positives + self.false_positives,
+        )
+    }
+
+    /// Failure recall: predicted / (predicted + missed).
+    pub fn recall(&self) -> f64 {
+        ratio(
+            self.predicted_failures,
+            self.predicted_failures + self.missed_failures,
+        )
+    }
+}
+
+fn ratio(n: usize, d: usize) -> f64 {
+    if d == 0 {
+        0.0
+    } else {
+        n as f64 / d as f64
+    }
+}
+
+/// Runs the predictor over a diagnosis and evaluates it against the
+/// detected failures.
+pub fn evaluate(d: &Diagnosis, config: &PredictorConfig) -> Evaluation {
+    let alerts = raise_alerts(d, config);
+
+    let mut tp = 0;
+    let mut fp = 0;
+    for a in &alerts {
+        let hit = d
+            .failures
+            .iter()
+            .any(|f| f.node == a.node && f.time >= a.time && f.time <= a.time + config.horizon);
+        if hit {
+            tp += 1;
+        } else {
+            fp += 1;
+        }
+    }
+
+    let mut predicted = 0;
+    let mut missed = 0;
+    let mut lead_sum_mins = 0.0;
+    for f in &d.failures {
+        let earliest_alert = alerts
+            .iter()
+            .filter(|a| {
+                a.node == f.node && a.time <= f.time && f.time.since(a.time) <= config.horizon
+            })
+            .map(|a| a.time)
+            .min();
+        match earliest_alert {
+            Some(t) => {
+                predicted += 1;
+                lead_sum_mins += f.time.since(t).as_mins_f64();
+            }
+            None => missed += 1,
+        }
+    }
+    Evaluation {
+        alerts,
+        true_positives: tp,
+        false_positives: fp,
+        predicted_failures: predicted,
+        missed_failures: missed,
+        mean_lead_mins: if predicted > 0 {
+            lead_sum_mins / predicted as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Whether an event is a *strong* external indicator worth alerting on by
+/// itself: `ec_hw_error`, NVF or `L0_sysd_mce` against a specific node.
+/// (NHFs are excluded — Fig. 6 shows roughly half of them are benign.)
+fn is_strong_external(event: &hpc_logs::LogEvent) -> Option<NodeId> {
+    use hpc_logs::event::{ControllerDetail, ErdDetail, Payload};
+    match &event.payload {
+        Payload::Controller {
+            detail:
+                ControllerDetail::NodeVoltageFault { node } | ControllerDetail::L0SysdMce { node },
+            ..
+        } => Some(*node),
+        Payload::Erd {
+            detail: ErdDetail::HwError { node, .. },
+            ..
+        } => Some(*node),
+        _ => None,
+    }
+}
+
+/// Raises debounced alerts over the chronological event stream.
+///
+/// In externally-correlated mode the predictor fires on two triggers:
+/// a *strong external indicator* by itself (this is where the ≈5× lead-time
+/// enhancement of Obs. 5 comes from — the alert predates any internal
+/// symptom), or an internal symptom that has external backing in the
+/// window.
+pub fn raise_alerts(d: &Diagnosis, config: &PredictorConfig) -> Vec<Alert> {
+    let mut alerts = Vec::new();
+    let mut last_alert: std::collections::HashMap<NodeId, SimTime> = Default::default();
+    for e in &d.events {
+        let (node, backed) = if let Some(node) = is_strong_external(e) {
+            if !config.require_external {
+                // The internal-only baseline ignores external streams.
+                continue;
+            }
+            (node, true)
+        } else if is_indicative_internal(e) {
+            let node = e
+                .subject_node()
+                .expect("indicative events are console events");
+            let probe = DetectedFailure {
+                node,
+                time: e.time,
+                terminal: TerminalKind::SchedulerDown,
+            };
+            let ext_from = e.time.saturating_sub(config.external_window);
+            let backed = d
+                .blade_external_between(
+                    node.blade(),
+                    ext_from,
+                    e.time + SimDuration::from_millis(1),
+                )
+                .any(|x| is_external_indicator(x, &probe));
+            if config.require_external && !backed {
+                continue;
+            }
+            (node, backed)
+        } else {
+            continue;
+        };
+        if let Some(prev) = last_alert.get(&node) {
+            if e.time.since(*prev) < config.debounce {
+                continue;
+            }
+        }
+        last_alert.insert(node, e.time);
+        alerts.push(Alert {
+            node,
+            time: e.time,
+            backed_by_external: backed,
+        });
+    }
+    alerts
+}
+
+/// Side-by-side comparison of the internal-only and externally-correlated
+/// predictors (the deployable form of Fig. 13 + Fig. 14).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictorComparison {
+    /// Internal-only evaluation.
+    pub internal_only: Evaluation,
+    /// Externally-gated evaluation.
+    pub with_external: Evaluation,
+}
+
+/// Runs both predictor variants.
+pub fn compare(d: &Diagnosis, base: &PredictorConfig) -> PredictorComparison {
+    PredictorComparison {
+        internal_only: evaluate(
+            d,
+            &PredictorConfig {
+                require_external: false,
+                ..*base
+            },
+        ),
+        with_external: evaluate(d, &base.with_external()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::DiagnosisConfig;
+    use hpc_faultsim::Scenario;
+    use hpc_platform::SystemId;
+
+    fn diag(seed: u64) -> Diagnosis {
+        let out = Scenario::new(SystemId::S1, 2, 21, seed).run();
+        Diagnosis::from_archive(&out.archive, DiagnosisConfig::default())
+    }
+
+    #[test]
+    fn alerts_are_causal_and_debounced() {
+        let d = diag(1);
+        let cfg = PredictorConfig::default();
+        let alerts = raise_alerts(&d, &cfg);
+        assert!(!alerts.is_empty());
+        assert!(alerts.windows(2).all(|w| w[0].time <= w[1].time));
+        // Debounce per node.
+        let mut per_node: std::collections::HashMap<NodeId, SimTime> = Default::default();
+        for a in &alerts {
+            if let Some(prev) = per_node.get(&a.node) {
+                assert!(a.time.since(*prev) >= cfg.debounce);
+            }
+            per_node.insert(a.node, a.time);
+        }
+    }
+
+    #[test]
+    fn external_gating_trades_recall_for_precision() {
+        let d = diag(2);
+        let cmp = compare(&d, &PredictorConfig::default());
+        let int = &cmp.internal_only;
+        let ext = &cmp.with_external;
+        assert!(int.alerts.len() > ext.alerts.len());
+        assert!(
+            ext.precision() > int.precision(),
+            "external precision {} vs internal {}",
+            ext.precision(),
+            int.precision()
+        );
+        assert!(
+            ext.recall() <= int.recall(),
+            "external gating cannot increase recall"
+        );
+        // The externally-gated predictor still predicts something.
+        assert!(ext.predicted_failures > 0);
+    }
+
+    #[test]
+    fn lead_times_are_positive_and_bounded_by_horizon() {
+        let d = diag(3);
+        let cfg = PredictorConfig::default();
+        let ev = evaluate(&d, &cfg);
+        assert!(ev.predicted_failures > 0);
+        assert!(ev.mean_lead_mins > 0.0);
+        assert!(ev.mean_lead_mins <= cfg.horizon.as_mins_f64());
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let d = diag(4);
+        let ev = evaluate(&d, &PredictorConfig::default());
+        assert_eq!(ev.true_positives + ev.false_positives, ev.alerts.len());
+        assert_eq!(ev.predicted_failures + ev.missed_failures, d.failures.len());
+    }
+
+    #[test]
+    fn empty_diagnosis_evaluates_to_zeroes() {
+        let d = Diagnosis::from_events(Vec::new(), 0, DiagnosisConfig::default());
+        let ev = evaluate(&d, &PredictorConfig::default());
+        assert!(ev.alerts.is_empty());
+        assert_eq!(ev.precision(), 0.0);
+        assert_eq!(ev.recall(), 0.0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property tests over detection, SWO recognition and the pipeline's
+//! windowed queries.
+
+use proptest::prelude::*;
+
+use hpc_diagnosis::detection::{detect_failures, DEDUP_WINDOW};
+use hpc_diagnosis::swo::{detect_swos, partition_failures, SwoConfig};
+use hpc_diagnosis::{Diagnosis, DiagnosisConfig};
+use hpc_logs::event::{ConsoleDetail, LogEvent, NodeState, PanicReason, Payload, SchedulerDetail};
+use hpc_logs::time::SimTime;
+use hpc_platform::NodeId;
+
+/// Generates a sorted stream of terminal-ish events on a small machine.
+fn terminal_events() -> impl Strategy<Value = Vec<LogEvent>> {
+    prop::collection::vec(
+        (
+            0u64..50_000_000u64,
+            0u32..64,
+            prop::sample::select(vec![0u8, 1, 2, 3, 4]),
+        ),
+        0..80,
+    )
+    .prop_map(|mut raw| {
+        raw.sort();
+        raw.into_iter()
+            .map(|(ms, node, kind)| {
+                let node = NodeId(node);
+                let payload = match kind {
+                    0 => Payload::Console {
+                        node,
+                        detail: ConsoleDetail::KernelPanic {
+                            reason: PanicReason::KernelBug,
+                        },
+                    },
+                    1 => Payload::Console {
+                        node,
+                        detail: ConsoleDetail::UnexpectedShutdown,
+                    },
+                    2 => Payload::Scheduler {
+                        detail: SchedulerDetail::NodeStateChange {
+                            node,
+                            state: NodeState::Down,
+                        },
+                    },
+                    3 => Payload::Scheduler {
+                        detail: SchedulerDetail::NodeStateChange {
+                            node,
+                            state: NodeState::AdminDown,
+                        },
+                    },
+                    // Non-terminal chaff.
+                    _ => Payload::Console {
+                        node,
+                        detail: ConsoleDetail::GracefulShutdown,
+                    },
+                };
+                LogEvent {
+                    time: SimTime::from_millis(ms),
+                    payload,
+                }
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn detection_invariants(events in terminal_events()) {
+        let failures = detect_failures(&events);
+        // Never more failures than terminal events.
+        let terminals = events
+            .iter()
+            .filter(|e| !matches!(
+                e.payload,
+                Payload::Console { detail: ConsoleDetail::GracefulShutdown, .. }
+            ))
+            .count();
+        prop_assert!(failures.len() <= terminals);
+        // Chronological output.
+        prop_assert!(failures.windows(2).all(|w| w[0].time <= w[1].time));
+        // Per node: consecutive failures are separated by more than the
+        // dedup window.
+        let mut per_node: std::collections::BTreeMap<NodeId, Vec<SimTime>> = Default::default();
+        for f in &failures {
+            per_node.entry(f.node).or_default().push(f.time);
+        }
+        for times in per_node.values() {
+            for w in times.windows(2) {
+                prop_assert!(w[1].since(w[0]) > DEDUP_WINDOW);
+            }
+        }
+        // Every failure coincides with a terminal event of that node.
+        for f in &failures {
+            prop_assert!(events.iter().any(|e| e.time == f.time
+                && e.subject_node() == Some(f.node)));
+        }
+    }
+
+    #[test]
+    fn detection_is_idempotent_under_duplication(events in terminal_events()) {
+        let doubled: Vec<LogEvent> = events
+            .iter()
+            .flat_map(|e| [e.clone(), e.clone()])
+            .collect();
+        prop_assert_eq!(detect_failures(&events), detect_failures(&doubled));
+    }
+
+    #[test]
+    fn swo_partition_is_a_partition(events in terminal_events(), frac in 0.05f64..0.5) {
+        let failures = detect_failures(&events);
+        let cfg = SwoConfig {
+            node_fraction: frac,
+            ..SwoConfig::default()
+        };
+        let swos = detect_swos(&failures, 64, &cfg);
+        let (regular, swallowed) = partition_failures(&failures, &swos);
+        prop_assert_eq!(regular.len() + swallowed.len(), failures.len());
+        // Everything swallowed is inside some window; nothing regular is.
+        for f in &swallowed {
+            prop_assert!(swos.iter().any(|w| w.contains(f.time)));
+        }
+        for f in &regular {
+            prop_assert!(!swos.iter().any(|w| w.contains(f.time)));
+        }
+    }
+
+    #[test]
+    fn pipeline_from_events_never_panics(events in terminal_events()) {
+        let d = Diagnosis::from_events(events, 0, DiagnosisConfig::default());
+        // Windowed queries behave on arbitrary bounds.
+        let (a, b) = d.window();
+        let _ = d.node_events_between(NodeId(0), a, b);
+        let _ = d.faulty_blades_between(a, b);
+        let _ = hpc_diagnosis::root_cause::classify_all(&d);
+        let _ = hpc_diagnosis::lead_time::lead_times(&d);
+    }
+}

@@ -1,0 +1,282 @@
+//! Log archives: the textual interface between generation and diagnosis.
+//!
+//! A [`LogArchive`] holds the rendered text of the four per-source streams
+//! (console, controller, ERD, scheduler) for one observation window —
+//! the in-memory analogue of a p0-directory plus controller/ERD/scheduler
+//! log files. Generators append structured events (rendered on the way in);
+//! the diagnosis pipeline reads lines back out and re-parses them.
+//!
+//! [`merge_by_time`] provides the k-way timestamp merge the pipeline uses to
+//! build one chronological event sequence from per-source parses — a
+//! `BinaryHeap`-based merge chosen over concat-and-sort because each source
+//! is already time-ordered (DESIGN.md §4.2; benchmarked in `hpc-bench`).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use hpc_platform::system::SchedulerKind;
+
+use crate::event::{LogEvent, LogSource};
+use crate::parse::LogParser;
+use crate::render::render_into;
+use crate::time::SimTime;
+
+/// Per-source line/byte counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SourceStats {
+    /// Number of text lines.
+    pub lines: u64,
+    /// Total bytes (including implied newlines).
+    pub bytes: u64,
+}
+
+/// An in-memory rendered log archive.
+#[derive(Debug, Clone)]
+pub struct LogArchive {
+    scheduler: SchedulerKind,
+    streams: [Vec<String>; 4],
+    last_time: [Option<SimTime>; 4],
+    render_buf: Vec<String>,
+}
+
+fn source_index(source: LogSource) -> usize {
+    match source {
+        LogSource::Console => 0,
+        LogSource::Controller => 1,
+        LogSource::Erd => 2,
+        LogSource::Scheduler => 3,
+    }
+}
+
+impl LogArchive {
+    /// New empty archive for a system using the given scheduler flavour.
+    pub fn new(scheduler: SchedulerKind) -> LogArchive {
+        LogArchive {
+            scheduler,
+            streams: Default::default(),
+            last_time: [None; 4],
+            render_buf: Vec::with_capacity(8),
+        }
+    }
+
+    /// The scheduler flavour used for rendering.
+    pub fn scheduler(&self) -> SchedulerKind {
+        self.scheduler
+    }
+
+    /// Renders `event` into its stream. Events must arrive in
+    /// non-decreasing time order per source (the discrete-event engine
+    /// guarantees this); violations panic in debug builds.
+    pub fn append_event(&mut self, event: &LogEvent) {
+        let idx = source_index(event.source());
+        debug_assert!(
+            self.last_time[idx].is_none_or(|t| t <= event.time),
+            "out-of-order append to {:?}: {} after {:?}",
+            event.source(),
+            event.time,
+            self.last_time[idx]
+        );
+        self.last_time[idx] = Some(event.time);
+        self.render_buf.clear();
+        render_into(event, self.scheduler, &mut self.render_buf);
+        self.streams[idx].append(&mut self.render_buf);
+    }
+
+    /// Appends a raw line (for injecting noise/corruption in tests).
+    pub fn push_raw_line(&mut self, source: LogSource, line: String) {
+        self.streams[source_index(source)].push(line);
+    }
+
+    /// The text lines of one stream.
+    pub fn lines(&self, source: LogSource) -> &[String] {
+        &self.streams[source_index(source)]
+    }
+
+    /// Line/byte statistics for one stream.
+    pub fn stats(&self, source: LogSource) -> SourceStats {
+        let lines = self.lines(source);
+        SourceStats {
+            lines: lines.len() as u64,
+            bytes: lines.iter().map(|l| l.len() as u64 + 1).sum(),
+        }
+    }
+
+    /// Total lines across all streams.
+    pub fn total_lines(&self) -> u64 {
+        LogSource::ALL.iter().map(|s| self.stats(*s).lines).sum()
+    }
+
+    /// Total bytes across all streams.
+    pub fn total_bytes(&self) -> u64 {
+        LogSource::ALL.iter().map(|s| self.stats(*s).bytes).sum()
+    }
+
+    /// Re-parses one stream back into structured events. Returns the events
+    /// and the count of unrecognised lines.
+    pub fn parse_source(&self, source: LogSource) -> (Vec<LogEvent>, u64) {
+        LogParser::parse_stream(source, self.lines(source).iter().map(|s| s.as_str()))
+    }
+
+    /// Re-parses all four streams and k-way merges them into one
+    /// chronological sequence — the pipeline's "holistic view".
+    pub fn parse_merged(&self) -> ParsedArchive {
+        let mut per_source = Vec::with_capacity(4);
+        let mut skipped = 0;
+        for source in LogSource::ALL {
+            let (events, sk) = self.parse_source(source);
+            skipped += sk;
+            per_source.push(events);
+        }
+        let merged = merge_by_time(per_source);
+        ParsedArchive {
+            events: merged,
+            skipped_lines: skipped,
+        }
+    }
+}
+
+/// Result of re-parsing a whole archive.
+#[derive(Debug, Clone)]
+pub struct ParsedArchive {
+    /// All events, chronologically merged across sources. Ties preserve
+    /// source order (console < controller < erd < scheduler).
+    pub events: Vec<LogEvent>,
+    /// Lines no parser recognised.
+    pub skipped_lines: u64,
+}
+
+/// K-way merge of per-source event vectors, each already sorted by time.
+///
+/// Stable across sources: at equal timestamps, events from earlier vectors
+/// come first, and order within a vector is preserved.
+pub fn merge_by_time(sources: Vec<Vec<LogEvent>>) -> Vec<LogEvent> {
+    let total: usize = sources.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    let mut iters: Vec<std::vec::IntoIter<LogEvent>> =
+        sources.into_iter().map(|v| v.into_iter()).collect();
+    // One entry per non-exhausted source: (next time, source index). The
+    // heap yields the earliest timestamp, tie-broken by source index, and a
+    // source re-enters only after its element is consumed — which keeps the
+    // merge stable within and across sources.
+    let mut heap: BinaryHeap<Reverse<(SimTime, usize)>> = BinaryHeap::new();
+    for (si, it) in iters.iter().enumerate() {
+        if let Some(first) = it.as_slice().first() {
+            heap.push(Reverse((first.time, si)));
+        }
+    }
+    while let Some(Reverse((_, si))) = heap.pop() {
+        let ev = iters[si]
+            .next()
+            .expect("heap entry implies a remaining element");
+        out.push(ev);
+        if let Some(next) = iters[si].as_slice().first() {
+            heap.push(Reverse((next.time, si)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{ConsoleDetail, Payload, SchedulerDetail};
+    use crate::event::{JobEndReason, JobId};
+    use hpc_platform::NodeId;
+
+    fn console_event(ms: u64, node: u32) -> LogEvent {
+        LogEvent {
+            time: SimTime::from_millis(ms),
+            payload: Payload::Console {
+                node: NodeId(node),
+                detail: ConsoleDetail::DiskError,
+            },
+        }
+    }
+
+    fn sched_event(ms: u64, job: u64) -> LogEvent {
+        LogEvent {
+            time: SimTime::from_millis(ms),
+            payload: Payload::Scheduler {
+                detail: SchedulerDetail::JobEnd {
+                    job: JobId(job),
+                    exit_code: 0,
+                    reason: JobEndReason::Completed,
+                },
+            },
+        }
+    }
+
+    #[test]
+    fn append_and_read_back() {
+        let mut a = LogArchive::new(SchedulerKind::Slurm);
+        a.append_event(&console_event(0, 1));
+        a.append_event(&console_event(5, 2));
+        a.append_event(&sched_event(3, 9));
+        assert_eq!(a.stats(LogSource::Console).lines, 2);
+        assert_eq!(a.stats(LogSource::Scheduler).lines, 1);
+        assert_eq!(a.total_lines(), 3);
+        assert!(a.total_bytes() > 0);
+    }
+
+    #[test]
+    fn parse_merged_interleaves_sources_chronologically() {
+        let mut a = LogArchive::new(SchedulerKind::Slurm);
+        a.append_event(&console_event(10, 1));
+        a.append_event(&console_event(30, 1));
+        a.append_event(&sched_event(20, 5));
+        let parsed = a.parse_merged();
+        assert_eq!(parsed.skipped_lines, 0);
+        let times: Vec<u64> = parsed.events.iter().map(|e| e.time.as_millis()).collect();
+        assert_eq!(times, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn merge_stable_at_equal_timestamps() {
+        let a = vec![console_event(5, 1), console_event(5, 2)];
+        let b = vec![sched_event(5, 1)];
+        let merged = merge_by_time(vec![a.clone(), b.clone()]);
+        assert_eq!(merged.len(), 3);
+        // Source 0 events first at equal time, preserving internal order.
+        assert_eq!(merged[0], a[0]);
+        assert_eq!(merged[1], a[1]);
+        assert_eq!(merged[2], b[0]);
+    }
+
+    #[test]
+    fn merge_empty_and_singleton_sources() {
+        assert!(merge_by_time(vec![]).is_empty());
+        assert!(merge_by_time(vec![vec![], vec![]]).is_empty());
+        let only = vec![console_event(1, 0)];
+        assert_eq!(merge_by_time(vec![vec![], only.clone()]), only);
+    }
+
+    #[test]
+    fn merge_large_random_interleave_is_sorted() {
+        // Three sources with staggered times.
+        let s1: Vec<_> = (0..100).map(|i| console_event(i * 3, 0)).collect();
+        let s2: Vec<_> = (0..100).map(|i| console_event(i * 3 + 1, 1)).collect();
+        let s3: Vec<_> = (0..100).map(|i| sched_event(i * 3 + 2, i)).collect();
+        let merged = merge_by_time(vec![s1, s2, s3]);
+        assert_eq!(merged.len(), 300);
+        assert!(merged.windows(2).all(|w| w[0].time <= w[1].time));
+    }
+
+    #[test]
+    fn raw_noise_lines_surface_as_skipped() {
+        let mut a = LogArchive::new(SchedulerKind::Slurm);
+        a.append_event(&console_event(0, 1));
+        a.push_raw_line(LogSource::Console, "%%% corrupted line %%%".into());
+        let parsed = a.parse_merged();
+        assert_eq!(parsed.events.len(), 1);
+        assert_eq!(parsed.skipped_lines, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-order")]
+    #[cfg(debug_assertions)]
+    fn out_of_order_append_panics_in_debug() {
+        let mut a = LogArchive::new(SchedulerKind::Slurm);
+        a.append_event(&console_event(10, 1));
+        a.append_event(&console_event(5, 1));
+    }
+}

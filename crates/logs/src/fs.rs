@@ -1,0 +1,202 @@
+//! On-disk log archives.
+//!
+//! Persists a [`LogArchive`] as a directory of plain-text log files in a
+//! layout mirroring a Cray SMW export, and loads such a directory back —
+//! which also makes the diagnosis pipeline usable on *real* log trees that
+//! follow the same conventions:
+//!
+//! ```text
+//! <root>/
+//!   p0-directory/console        node-internal console/messages lines
+//!   controller/controller.log   BC/CC health-fault lines
+//!   erd/event-20160101          ERD + SEDC lines
+//!   scheduler/slurmctld.log     scheduler lines (or pbs_server.log)
+//! ```
+
+use std::fs;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use hpc_platform::system::SchedulerKind;
+
+use crate::archive::LogArchive;
+use crate::event::LogSource;
+
+/// Relative path of a source's log file within an archive directory.
+pub fn source_path(source: LogSource, scheduler: SchedulerKind) -> PathBuf {
+    match source {
+        LogSource::Console => PathBuf::from("p0-directory/console"),
+        LogSource::Controller => PathBuf::from("controller/controller.log"),
+        LogSource::Erd => PathBuf::from("erd/event-20160101"),
+        LogSource::Scheduler => match scheduler {
+            SchedulerKind::Slurm => PathBuf::from("scheduler/slurmctld.log"),
+            SchedulerKind::Torque => PathBuf::from("scheduler/pbs_server.log"),
+        },
+    }
+}
+
+/// Writes the archive under `root`, creating directories as needed.
+/// Existing files are overwritten.
+pub fn save_archive(archive: &LogArchive, root: &Path) -> io::Result<()> {
+    for source in LogSource::ALL {
+        let path = root.join(source_path(source, archive.scheduler()));
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let mut w = BufWriter::new(fs::File::create(&path)?);
+        for line in archive.lines(source) {
+            w.write_all(line.as_bytes())?;
+            w.write_all(b"\n")?;
+        }
+        w.flush()?;
+    }
+    Ok(())
+}
+
+/// Loads an archive from `root`. Missing files yield empty streams (the
+/// paper's "absence of certain environmental logs"); the scheduler flavour
+/// is detected from which scheduler file exists (defaulting to Slurm).
+pub fn load_archive(root: &Path) -> io::Result<LogArchive> {
+    let scheduler = if root.join("scheduler/pbs_server.log").exists() {
+        SchedulerKind::Torque
+    } else {
+        SchedulerKind::Slurm
+    };
+    let mut archive = LogArchive::new(scheduler);
+    for source in LogSource::ALL {
+        let path = root.join(source_path(source, scheduler));
+        if !path.exists() {
+            continue;
+        }
+        let reader = BufReader::new(fs::File::open(&path)?);
+        for line in reader.lines() {
+            archive.push_raw_line(source, line?);
+        }
+    }
+    Ok(archive)
+}
+
+/// Streams one log file through the parser without materialising all lines
+/// — bounded memory for multi-GB real logs. Returns the parsed events
+/// (sorted by time) and the count of unrecognised lines.
+pub fn parse_file(path: &Path, source: LogSource) -> io::Result<(Vec<crate::LogEvent>, u64)> {
+    use crate::parse::LogParser;
+    let reader = BufReader::new(fs::File::open(path)?);
+    let mut parser = LogParser::new();
+    let mut out = Vec::new();
+    let mut line = String::new();
+    let mut reader = reader;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        let trimmed = line.trim_end_matches(['\n', '\r']);
+        parser.parse_line(source, trimmed, &mut out);
+    }
+    parser.finish(&mut out);
+    out.sort_by_key(|e| e.time);
+    Ok((out, parser.skipped_lines))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{ConsoleDetail, LogEvent, Payload};
+    use crate::time::SimTime;
+    use hpc_platform::NodeId;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("hpc-logs-fs-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_archive() -> LogArchive {
+        let mut a = LogArchive::new(SchedulerKind::Slurm);
+        for i in 0..10u64 {
+            a.append_event(&LogEvent {
+                time: SimTime::from_millis(i * 1000),
+                payload: Payload::Console {
+                    node: NodeId(i as u32),
+                    detail: ConsoleDetail::DiskError,
+                },
+            });
+        }
+        a
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = tmpdir("roundtrip");
+        let a = sample_archive();
+        save_archive(&a, &dir).unwrap();
+        let b = load_archive(&dir).unwrap();
+        for source in LogSource::ALL {
+            assert_eq!(a.lines(source), b.lines(source), "{source:?}");
+        }
+        assert_eq!(b.scheduler(), SchedulerKind::Slurm);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_streams_load_empty() {
+        let dir = tmpdir("partial");
+        let a = sample_archive();
+        save_archive(&a, &dir).unwrap();
+        fs::remove_file(dir.join("erd/event-20160101")).unwrap();
+        fs::remove_dir_all(dir.join("controller")).unwrap();
+        let b = load_archive(&dir).unwrap();
+        assert_eq!(b.lines(LogSource::Console).len(), 10);
+        assert!(b.lines(LogSource::Erd).is_empty());
+        assert!(b.lines(LogSource::Controller).is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torque_flavour_detected() {
+        let dir = tmpdir("torque");
+        let a = LogArchive::new(SchedulerKind::Torque);
+        save_archive(&a, &dir).unwrap();
+        let b = load_archive(&dir).unwrap();
+        assert_eq!(b.scheduler(), SchedulerKind::Torque);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn parse_file_streams_and_matches_in_memory_parse() {
+        let dir = tmpdir("stream");
+        let a = sample_archive();
+        save_archive(&a, &dir).unwrap();
+        let path = dir.join(source_path(LogSource::Console, SchedulerKind::Slurm));
+        let (streamed, skipped) = parse_file(&path, LogSource::Console).unwrap();
+        assert_eq!(skipped, 0);
+        let (in_memory, _) = a.parse_source(LogSource::Console);
+        assert_eq!(streamed, in_memory);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn parse_file_handles_crlf_and_garbage() {
+        let dir = tmpdir("crlf");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("console");
+        let good =
+            "2016-01-01T00:00:00.000 c0-0c0s0n0 kernel: sd 0:0:0:0: [sda] Unhandled error code";
+        fs::write(&path, format!("{good}\r\nnot a log line\n")).unwrap();
+        let (events, skipped) = parse_file(&path, LogSource::Console).unwrap();
+        assert_eq!(events.len(), 1, "CRLF line endings must be tolerated");
+        assert_eq!(skipped, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_root_loads_empty_archive() {
+        let dir = tmpdir("empty");
+        let b = load_archive(&dir).unwrap();
+        assert_eq!(b.total_lines(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,60 @@
+//! # hpc-logs
+//!
+//! Log model for the reproduction of *"Systemic Assessment of Node Failures
+//! in HPC Production Platforms"* (IPDPS 2021): structured events, realistic
+//! text rendering, parsing, and archive plumbing.
+//!
+//! The crate enforces the study's central discipline: **generation and
+//! analysis communicate only through text log lines.** The fault simulator
+//! and scheduler produce [`event::LogEvent`]s, which [`render`] turns into
+//! the console / controller / ERD / scheduler line formats the paper works
+//! with (Table II); the diagnosis pipeline re-parses those lines with
+//! [`parse::LogParser`] — it never sees simulator state.
+//!
+//! Modules:
+//!
+//! * [`time`] — simulated clock ([`time::SimTime`]), reproducible
+//!   timestamps, calendar formatting/parsing.
+//! * [`event`] — the structured event vocabulary (fault taxonomy of Table
+//!   III, stack modules of Table IV, job lifecycle, node states).
+//! * [`render`] — events → text lines (multi-line call traces included).
+//! * [`parse`] — text lines → events (stateful per-node trace grouping).
+//! * [`archive`] — per-source streams, statistics, and the k-way timestamp
+//!   merge producing one chronological event sequence.
+//!
+//! ```
+//! use hpc_logs::event::{ConsoleDetail, LogEvent, Payload};
+//! use hpc_logs::parse::LogParser;
+//! use hpc_logs::render::render;
+//! use hpc_logs::time::SimTime;
+//! use hpc_platform::system::SchedulerKind;
+//! use hpc_platform::NodeId;
+//!
+//! let event = LogEvent {
+//!     time: SimTime::from_millis(1_000),
+//!     payload: Payload::Console {
+//!         node: NodeId(5),
+//!         detail: ConsoleDetail::BiosError,
+//!     },
+//! };
+//! let lines = render(&event, SchedulerKind::Slurm);
+//! assert!(lines[0].contains("type:2; severity:80"));
+//! let (parsed, skipped) =
+//!     LogParser::parse_stream(event.source(), lines.iter().map(|s| s.as_str()));
+//! assert_eq!(parsed, vec![event]);
+//! assert_eq!(skipped, 0);
+//! ```
+//! * [`fs`] — saving/loading archives as directories of plain-text log
+//!   files (SMW-export layout), for use on real log trees.
+
+pub mod archive;
+pub mod event;
+pub mod fs;
+pub mod parse;
+pub mod render;
+pub mod time;
+
+pub use archive::{merge_by_time, LogArchive, ParsedArchive};
+pub use event::{LogEvent, LogSource, Payload, Severity};
+pub use parse::LogParser;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,967 @@
+//! Parsing text log lines back into structured [`LogEvent`]s.
+//!
+//! This is the measurement half of the substitution: the diagnosis pipeline
+//! never receives simulator state, only the rendered text, which it parses
+//! with the stateful [`LogParser`] here — exactly the position the paper's
+//! authors were in with real p0-directory logs.
+//!
+//! Console streams interleave lines from thousands of nodes and contain
+//! multi-line `Call Trace:` sections, so the parser keeps a per-node pending
+//! buffer: a kernel oops (or hung-task report) is held open while its trace
+//! frames accumulate and is emitted when the next non-trace line from the
+//! same node arrives (or at [`LogParser::finish`]).
+
+use std::collections::HashMap;
+
+use hpc_platform::components::Component;
+use hpc_platform::id::Cname;
+use hpc_platform::interconnect::LinkErrorKind;
+use hpc_platform::sensors::{Deviation, SensorKind};
+use hpc_platform::NodeId;
+
+use crate::event::{
+    parse_nid, Apid, AppKind, ConsoleDetail, ControllerDetail, ControllerScope, ErdDetail,
+    JobEndReason, JobId, LogEvent, LogSource, LustreErrorKind, MceKind, NhcTest, NodeState,
+    OopsCause, PanicReason, Payload, SchedulerDetail, StackModule,
+};
+use crate::render::expand_nid_list;
+use crate::time::SimTime;
+
+/// What a pending multi-line console report will become.
+#[derive(Debug, Clone)]
+enum PendKind {
+    Oops(OopsCause),
+    Hung { task: AppKind, pid: u32 },
+}
+
+#[derive(Debug, Clone)]
+struct PendingTrace {
+    time: SimTime,
+    kind: PendKind,
+    modules: Vec<StackModule>,
+}
+
+/// Stateful multi-stream log parser.
+///
+/// One parser instance may be fed lines from all four sources; only console
+/// parsing is stateful. Lines must be fed in file order per source (the
+/// natural order of a log file).
+#[derive(Debug, Default)]
+pub struct LogParser {
+    pending: HashMap<NodeId, PendingTrace>,
+    /// Lines successfully consumed (including trace continuation lines).
+    pub parsed_lines: u64,
+    /// Lines that matched no known format.
+    pub skipped_lines: u64,
+}
+
+impl LogParser {
+    /// Fresh parser.
+    pub fn new() -> LogParser {
+        LogParser::default()
+    }
+
+    /// Parses one line from `source`, appending zero or more completed
+    /// events to `out`. Returns `true` if the line was recognised.
+    pub fn parse_line(&mut self, source: LogSource, line: &str, out: &mut Vec<LogEvent>) -> bool {
+        let ok = match source {
+            LogSource::Console => self.parse_console(line, out),
+            LogSource::Controller => parse_controller(line, out),
+            LogSource::Erd => parse_erd(line, out),
+            LogSource::Scheduler => parse_scheduler(line, out),
+        };
+        if ok {
+            self.parsed_lines += 1;
+        } else {
+            self.skipped_lines += 1;
+        }
+        ok
+    }
+
+    /// Flushes any buffered multi-line reports (in timestamp order).
+    pub fn finish(&mut self, out: &mut Vec<LogEvent>) {
+        let mut drained: Vec<(NodeId, PendingTrace)> = self.pending.drain().collect();
+        drained.sort_by_key(|(_, p)| p.time);
+        for (node, p) in drained {
+            out.push(complete_pending(node, p));
+        }
+    }
+
+    /// Convenience: parses an entire in-memory stream and returns the events
+    /// plus the number of unrecognised lines.
+    ///
+    /// The result is sorted by timestamp: buffered multi-line reports (an
+    /// oops whose trace frames interleave with other nodes' lines) complete
+    /// *after* later single-line events, so raw emission order is not
+    /// chronological even though the input file is.
+    pub fn parse_stream<'a, I>(source: LogSource, lines: I) -> (Vec<LogEvent>, u64)
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let mut p = LogParser::new();
+        let mut out = Vec::new();
+        for line in lines {
+            p.parse_line(source, line, &mut out);
+        }
+        p.finish(&mut out);
+        out.sort_by_key(|e| e.time);
+        (out, p.skipped_lines)
+    }
+
+    fn parse_console(&mut self, line: &str, out: &mut Vec<LogEvent>) -> bool {
+        let Some((time, rest)) = split_timestamp(line) else {
+            return false;
+        };
+        // "<cname> kernel: <payload>"
+        let Some((cname_str, rest)) = rest.split_once(' ') else {
+            return false;
+        };
+        let Ok(cname) = cname_str.parse::<Cname>() else {
+            return false;
+        };
+        let Some(node) = cname.node_id() else {
+            return false;
+        };
+        let Some(rest) = rest.strip_prefix("kernel: ") else {
+            return false;
+        };
+
+        // Trace continuation lines extend the pending report.
+        let trimmed = rest.trim_start();
+        if trimmed == "Call Trace:" {
+            return self.pending.contains_key(&node);
+        }
+        if let Some(frame) = trimmed.strip_prefix("[<") {
+            // "[<ffffffff8100beef>] symbol+0x132/0x240"
+            let Some(p) = self.pending.get_mut(&node) else {
+                return false;
+            };
+            let Some((_, sym_part)) = frame.split_once(">] ") else {
+                return false;
+            };
+            let sym = sym_part.split('+').next().unwrap_or("");
+            let Some(module) = StackModule::from_symbol(sym) else {
+                return false;
+            };
+            p.modules.push(module);
+            return true;
+        }
+
+        // Any other line from this node completes the pending report first.
+        if let Some(p) = self.pending.remove(&node) {
+            out.push(complete_pending(node, p));
+        }
+
+        // Multi-line starters buffer instead of emitting.
+        if let Some(cause) = OopsCause::from_first_line(rest) {
+            self.pending.insert(
+                node,
+                PendingTrace {
+                    time,
+                    kind: PendKind::Oops(cause),
+                    modules: Vec::new(),
+                },
+            );
+            return true;
+        }
+        if let Some(r) = rest.strip_prefix("INFO: task ") {
+            // "INFO: task {exe}:{pid} blocked for more than 120 seconds."
+            let Some((ident, _)) = r.split_once(" blocked") else {
+                return false;
+            };
+            let Some((exe, pid)) = ident.rsplit_once(':') else {
+                return false;
+            };
+            let (Some(task), Ok(pid)) = (AppKind::from_executable(exe), pid.parse::<u32>()) else {
+                return false;
+            };
+            self.pending.insert(
+                node,
+                PendingTrace {
+                    time,
+                    kind: PendKind::Hung { task, pid },
+                    modules: Vec::new(),
+                },
+            );
+            return true;
+        }
+
+        let Some(detail) = parse_console_single(rest) else {
+            return false;
+        };
+        out.push(LogEvent {
+            time,
+            payload: Payload::Console { node, detail },
+        });
+        true
+    }
+}
+
+fn complete_pending(node: NodeId, p: PendingTrace) -> LogEvent {
+    let detail = match p.kind {
+        PendKind::Oops(cause) => ConsoleDetail::KernelOops {
+            cause,
+            modules: p.modules,
+        },
+        PendKind::Hung { task, pid } => ConsoleDetail::HungTaskTimeout {
+            task,
+            pid,
+            modules: p.modules,
+        },
+    };
+    LogEvent {
+        time: p.time,
+        payload: Payload::Console { node, detail },
+    }
+}
+
+/// Parses single-line console payloads (everything except oops/hung-task).
+fn parse_console_single(rest: &str) -> Option<ConsoleDetail> {
+    if let Some(r) = rest.strip_prefix("mce: [Hardware Error]: Machine Check Exception ") {
+        let bank = field(r, "bank=")?.parse().ok()?;
+        let kind = MceKind::from_token(field(r, "kind=")?)?;
+        let corrected = match field(r, "status=")? {
+            "corrected" => true,
+            "uncorrected" => false,
+            _ => return None,
+        };
+        return Some(ConsoleDetail::Mce {
+            bank,
+            kind,
+            corrected,
+        });
+    }
+    if let Some(r) = rest.strip_prefix("EDAC MC0: ") {
+        let correctable = if r.starts_with("correctable") {
+            true
+        } else if r.starts_with("uncorrectable") {
+            false
+        } else {
+            return None;
+        };
+        let dimm = r.rsplit(' ').next()?.parse().ok()?;
+        return Some(ConsoleDetail::MemoryError { dimm, correctable });
+    }
+    if rest.contains("]: segfault at ") {
+        // "{exe}[{pid}]: segfault at …"
+        let (ident, _) = rest.split_once("]: segfault")?;
+        let (exe, pid) = ident.split_once('[')?;
+        return Some(ConsoleDetail::SegFault {
+            app: AppKind::from_executable(exe)?,
+            pid: pid.parse().ok()?,
+        });
+    }
+    if let Some(r) = rest.strip_prefix("Out of memory: Kill process ") {
+        // "{pid} ({exe}) score 912 or sacrifice child"
+        let (pid, r) = r.split_once(' ')?;
+        let exe = r.strip_prefix('(')?.split_once(')')?.0;
+        return Some(ConsoleDetail::OomKill {
+            victim: AppKind::from_executable(exe)?,
+            pid: pid.parse().ok()?,
+        });
+    }
+    if let Some(r) = rest.strip_prefix("Kernel panic - not syncing: ") {
+        return Some(ConsoleDetail::KernelPanic {
+            reason: PanicReason::from_message(r)?,
+        });
+    }
+    if let Some(r) = rest.strip_prefix("LustreError: 11-0: fs0-OST0001: ") {
+        return Some(ConsoleDetail::LustreError {
+            kind: LustreErrorKind::from_token(r.trim())?,
+        });
+    }
+    if let Some(r) = rest.strip_prefix("INFO: rcu_sched self-detected stall on CPU ") {
+        return Some(ConsoleDetail::CpuStall {
+            cpu: r.trim().parse().ok()?,
+        });
+    }
+    if rest.contains(": page allocation failure: order:") {
+        let (exe, r) = rest.split_once(": page allocation failure: order:")?;
+        let order = r.split(',').next()?.parse().ok()?;
+        return Some(ConsoleDetail::PageAllocFailure {
+            app: AppKind::from_executable(exe)?,
+            order,
+        });
+    }
+    if let Some(r) = rest.strip_prefix("NVRM: Xid ") {
+        // "{xid} on GPU {gpu}"
+        let (xid, r) = r.split_once(' ')?;
+        let gpu = r.strip_prefix("on GPU ")?.trim().parse().ok()?;
+        return Some(ConsoleDetail::GpuError {
+            gpu,
+            xid: xid.parse().ok()?,
+        });
+    }
+    if rest.starts_with("sd 0:0:0:0: [sda] Unhandled error code") {
+        return Some(ConsoleDetail::DiskError);
+    }
+    if rest.starts_with("type:2; severity:80; class:3; subclass:D; operation: 2") {
+        return Some(ConsoleDetail::BiosError);
+    }
+    if let Some(r) = rest.strip_prefix("NHC: warning test=") {
+        return Some(ConsoleDetail::NhcWarning {
+            test: NhcTest::from_token(r.trim())?,
+        });
+    }
+    if rest.starts_with("EMERGENCY: node unexpectedly shut down") {
+        return Some(ConsoleDetail::UnexpectedShutdown);
+    }
+    if rest.starts_with("reboot: System halted") {
+        return Some(ConsoleDetail::GracefulShutdown);
+    }
+    None
+}
+
+fn parse_controller(line: &str, out: &mut Vec<LogEvent>) -> bool {
+    let Some((time, rest)) = split_timestamp(line) else {
+        return false;
+    };
+    let Some((cname_str, rest)) = rest.split_once(' ') else {
+        return false;
+    };
+    let Ok(cname) = cname_str.parse::<Cname>() else {
+        return false;
+    };
+    let scope = match cname.granularity() {
+        2 => match cname.blade_id() {
+            Some(b) => ControllerScope::Blade(b),
+            None => return false,
+        },
+        0 => ControllerScope::Cabinet(cname.cabinet_id()),
+        _ => return false,
+    };
+    let rest = match rest
+        .strip_prefix("bc: ")
+        .or_else(|| rest.strip_prefix("cc: "))
+    {
+        Some(r) => r,
+        None => return false,
+    };
+    let Some(detail) = parse_controller_payload(rest) else {
+        return false;
+    };
+    out.push(LogEvent {
+        time,
+        payload: Payload::Controller { scope, detail },
+    });
+    true
+}
+
+fn parse_controller_payload(rest: &str) -> Option<ControllerDetail> {
+    if let Some(r) = rest.strip_prefix("ec_node_heartbeat_fault: node ") {
+        let cname: Cname = r.split(' ').next()?.parse().ok()?;
+        return Some(ControllerDetail::NodeHeartbeatFault {
+            node: cname.node_id()?,
+        });
+    }
+    if let Some(r) = rest.strip_prefix("ec_node_voltage_fault: node ") {
+        let cname: Cname = r.split(' ').next()?.parse().ok()?;
+        return Some(ControllerDetail::NodeVoltageFault {
+            node: cname.node_id()?,
+        });
+    }
+    if rest.starts_with("ec_bc_heartbeat_fault") {
+        return Some(ControllerDetail::BcHeartbeatFault);
+    }
+    if rest.starts_with("ecb_fault") {
+        return Some(ControllerDetail::EcbFault {
+            channel: field(rest, "channel=")?.parse().ok()?,
+        });
+    }
+    if rest.starts_with("get sensor reading failed") {
+        return Some(ControllerDetail::SensorReadFailed {
+            channel: field(rest, "channel=")?.parse().ok()?,
+        });
+    }
+    if rest.starts_with("cabinet power fault") {
+        return Some(ControllerDetail::CabinetPowerFault);
+    }
+    if rest.starts_with("cabinet micro controller fault") {
+        return Some(ControllerDetail::MicroControllerFault);
+    }
+    if rest.starts_with("communication fault") {
+        return Some(ControllerDetail::CommunicationFault);
+    }
+    if rest.starts_with("module health fault") {
+        return Some(ControllerDetail::ModuleHealthFault);
+    }
+    if rest.starts_with("fan rpm fault") {
+        return Some(ControllerDetail::RpmFault {
+            fan: field(rest, "fan=")?.parse().ok()?,
+        });
+    }
+    if rest.starts_with("L0_sysd_mce") {
+        let cname: Cname = field(rest, "node=")?.parse().ok()?;
+        return Some(ControllerDetail::L0SysdMce {
+            node: cname.node_id()?,
+        });
+    }
+    if let Some(r) = rest.strip_prefix("node ") {
+        if r.contains("powered off by operator") {
+            let cname: Cname = r.split(' ').next()?.parse().ok()?;
+            return Some(ControllerDetail::NodePowerOff {
+                node: cname.node_id()?,
+            });
+        }
+    }
+    None
+}
+
+fn parse_erd(line: &str, out: &mut Vec<LogEvent>) -> bool {
+    let Some((time, rest)) = split_timestamp(line) else {
+        return false;
+    };
+    let Some(rest) = rest.strip_prefix("erd: ") else {
+        return false;
+    };
+    let Some((scope, detail)) = parse_erd_payload(rest) else {
+        return false;
+    };
+    out.push(LogEvent {
+        time,
+        payload: Payload::Erd { scope, detail },
+    });
+    true
+}
+
+fn parse_erd_payload(rest: &str) -> Option<(ControllerScope, ErdDetail)> {
+    let src: Cname = field(rest, "src=")?.parse().ok()?;
+    let scope = match src.granularity() {
+        0 => ControllerScope::Cabinet(src.cabinet_id()),
+        2 => ControllerScope::Blade(src.blade_id()?),
+        3 => ControllerScope::Blade(src.node_id()?.blade()),
+        _ => return None,
+    };
+    let detail = if rest.starts_with("ec_sedc_warning ") {
+        let sensor = SensorKind::from_mnemonic(field(rest, "sensor=")?)?;
+        let channel = field(rest, "ch=")?.parse().ok()?;
+        let reading: f64 = field(rest, "reading=")?.parse().ok()?;
+        let deviation = if rest.ends_with("below minimum threshold") {
+            Deviation::BelowMinimum
+        } else if rest.ends_with("above maximum threshold") {
+            Deviation::AboveMaximum
+        } else if rest.ends_with("nominal") {
+            Deviation::Nominal
+        } else {
+            return None;
+        };
+        ErdDetail::SedcWarning {
+            sensor,
+            channel,
+            reading,
+            deviation,
+        }
+    } else if rest.starts_with("ec_sedc_data ") {
+        ErdDetail::SedcReading {
+            sensor: SensorKind::from_mnemonic(field(rest, "sensor=")?)?,
+            channel: field(rest, "ch=")?.parse().ok()?,
+            reading: field(rest, "reading=")?.parse().ok()?,
+        }
+    } else if rest.starts_with("ec_hw_error ") {
+        let node = src.node_id()?;
+        let component = parse_component(field(rest, "component=")?)?;
+        ErdDetail::HwError { node, component }
+    } else if rest.starts_with("ec_heartbeat_stop ") {
+        ErdDetail::HeartbeatStop
+    } else if rest.starts_with("ec_l0_failed ") {
+        ErdDetail::L0Failed
+    } else if rest.starts_with("ec_link_error ") {
+        let port = field(rest, "port=")?.parse().ok()?;
+        let kind = parse_link_error(rest)?;
+        ErdDetail::LinkError { port, kind }
+    } else if rest.starts_with("ec_environment ") {
+        ErdDetail::Environment {
+            air_flow_reduced: rest.ends_with("air flow reduced"),
+        }
+    } else if rest.starts_with("ec_cabinet_sensor_check ") {
+        ErdDetail::CabinetSensorCheck {
+            ok: field(rest, "status=") == Some("ok"),
+        }
+    } else if rest.starts_with("ec_node_failed ") {
+        ErdDetail::NodeFailed {
+            node: src.node_id()?,
+        }
+    } else {
+        return None;
+    };
+    Some((scope, detail))
+}
+
+fn parse_component(s: &str) -> Option<Component> {
+    Some(match s {
+        "CPU" => Component::Cpu,
+        "DIMM" => Component::Dimm,
+        "NIC" => Component::Nic,
+        "DISK" => Component::Disk,
+        "GPU" => Component::Gpu,
+        "BB_SSD" => Component::BurstBufferSsd,
+        _ => return None,
+    })
+}
+
+fn parse_link_error(rest: &str) -> Option<LinkErrorKind> {
+    if rest.ends_with("lane CRC error") {
+        Some(LinkErrorKind::Crc)
+    } else if rest.ends_with("lane degrade: width reduced") {
+        Some(LinkErrorKind::LaneDegrade)
+    } else if rest.ends_with("link inactive") {
+        Some(LinkErrorKind::LinkDown)
+    } else if rest.ends_with("failover completed") {
+        Some(LinkErrorKind::Failover { succeeded: true })
+    } else if rest.ends_with("failover FAILED") {
+        Some(LinkErrorKind::Failover { succeeded: false })
+    } else {
+        None
+    }
+}
+
+fn parse_scheduler(line: &str, out: &mut Vec<LogEvent>) -> bool {
+    let Some((time, rest)) = split_timestamp(line) else {
+        return false;
+    };
+    let rest = match rest
+        .strip_prefix("slurmctld: ")
+        .or_else(|| rest.strip_prefix("pbs_server: "))
+    {
+        Some(r) => r,
+        None => return false,
+    };
+    let Some(detail) = parse_scheduler_payload(rest) else {
+        return false;
+    };
+    out.push(LogEvent {
+        time,
+        payload: Payload::Scheduler { detail },
+    });
+    true
+}
+
+fn parse_scheduler_payload(rest: &str) -> Option<SchedulerDetail> {
+    if let Some(r) = rest.strip_prefix("nhc: ") {
+        return Some(SchedulerDetail::NhcResult {
+            node: parse_nid(field(r, "node=")?)?,
+            test: NhcTest::from_token(field(r, "test=")?)?,
+            passed: field(r, "status=")? == "pass",
+        });
+    }
+    if let Some(r) = rest.strip_prefix("epilogue: ") {
+        return Some(SchedulerDetail::EpilogueCleanup {
+            job: JobId(field(r, "job=")?.parse().ok()?),
+            node: parse_nid(field(r, "node=")?)?,
+        });
+    }
+    if let Some(r) = rest.strip_prefix("sched: ") {
+        if r.contains("memory overallocation") {
+            let req = field(r, "requested=")?.strip_suffix("MiB")?;
+            let avail = field(r, "available=")?.strip_suffix("MiB")?;
+            return Some(SchedulerDetail::MemOverallocation {
+                job: JobId(field(r, "job=")?.parse().ok()?),
+                node: parse_nid(field(r, "node=")?)?,
+                requested_mib: req.parse().ok()?,
+                available_mib: avail.parse().ok()?,
+            });
+        }
+        return None;
+    }
+    if rest.starts_with("node=") && rest.contains("state=") {
+        return Some(SchedulerDetail::NodeStateChange {
+            node: parse_nid(field(rest, "node=")?)?,
+            state: NodeState::from_token(field(rest, "state=")?)?,
+        });
+    }
+    if rest.starts_with("job=") {
+        let job = JobId(field(rest, "job=")?.parse().ok()?);
+        if rest.contains(" end ") {
+            return Some(SchedulerDetail::JobEnd {
+                job,
+                exit_code: field(rest, "exit_code=")?.parse().ok()?,
+                reason: JobEndReason::from_token(field(rest, "reason=")?)?,
+            });
+        }
+        if rest.ends_with(" start") {
+            let mem = field(rest, "mem_per_node=")?.strip_suffix("MiB")?;
+            return Some(SchedulerDetail::JobStart {
+                job,
+                apid: Apid(field(rest, "apid=")?.parse().ok()?),
+                user: field(rest, "user=")?.parse().ok()?,
+                app: AppKind::from_executable(field(rest, "app=")?)?,
+                nodes: expand_nid_list(field(rest, "nodes=")?)?,
+                mem_per_node_mib: mem.parse().ok()?,
+            });
+        }
+    }
+    None
+}
+
+/// Splits the leading 23-char timestamp plus one space from a line.
+fn split_timestamp(line: &str) -> Option<(SimTime, &str)> {
+    if line.len() < 25 {
+        return None;
+    }
+    let (ts, rest) = line.split_at(23);
+    let time = SimTime::parse(ts)?;
+    Some((time, rest.strip_prefix(' ')?))
+}
+
+/// Extracts the whitespace-delimited token following `key` (e.g.
+/// `field("a=1 b=2", "b=")` → `Some("2")`).
+fn field<'a>(haystack: &'a str, key: &str) -> Option<&'a str> {
+    let start = haystack.find(key)? + key.len();
+    let rest = &haystack[start..];
+    let end = rest.find(' ').unwrap_or(rest.len());
+    Some(&rest[..end])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{ConsoleDetail, LogEvent, Payload};
+    use crate::render::render;
+    use hpc_platform::system::SchedulerKind;
+    use hpc_platform::{BladeId, CabinetId};
+
+    fn roundtrip(event: LogEvent) {
+        let source = event.source();
+        let lines = render(&event, SchedulerKind::Slurm);
+        let mut parser = LogParser::new();
+        let mut out = Vec::new();
+        for l in &lines {
+            assert!(
+                parser.parse_line(source, l, &mut out),
+                "line not recognised: {l}"
+            );
+        }
+        parser.finish(&mut out);
+        assert_eq!(out, vec![event.clone()], "round-trip of {event:?}");
+    }
+
+    #[test]
+    fn console_single_line_round_trips() {
+        use crate::event::*;
+        let t = SimTime::from_millis(86_400_123);
+        let details = vec![
+            ConsoleDetail::Mce {
+                bank: 5,
+                kind: MceKind::Cache,
+                corrected: true,
+            },
+            ConsoleDetail::MemoryError {
+                dimm: 3,
+                correctable: false,
+            },
+            ConsoleDetail::SegFault {
+                app: AppKind::Python,
+                pid: 4242,
+            },
+            ConsoleDetail::OomKill {
+                victim: AppKind::Matlab,
+                pid: 999,
+            },
+            ConsoleDetail::KernelPanic {
+                reason: PanicReason::LustreBug,
+            },
+            ConsoleDetail::LustreError {
+                kind: LustreErrorKind::PageFaultLock,
+            },
+            ConsoleDetail::CpuStall { cpu: 17 },
+            ConsoleDetail::PageAllocFailure {
+                app: AppKind::Genomics,
+                order: 4,
+            },
+            ConsoleDetail::GpuError { gpu: 1, xid: 79 },
+            ConsoleDetail::DiskError,
+            ConsoleDetail::BiosError,
+            ConsoleDetail::NhcWarning {
+                test: NhcTest::AppExit,
+            },
+            ConsoleDetail::UnexpectedShutdown,
+            ConsoleDetail::GracefulShutdown,
+        ];
+        for d in details {
+            roundtrip(LogEvent {
+                time: t,
+                payload: Payload::Console {
+                    node: NodeId(193),
+                    detail: d,
+                },
+            });
+        }
+    }
+
+    #[test]
+    fn oops_with_trace_round_trips() {
+        use crate::event::*;
+        roundtrip(LogEvent {
+            time: SimTime::from_millis(5000),
+            payload: Payload::Console {
+                node: NodeId(7),
+                detail: ConsoleDetail::KernelOops {
+                    cause: OopsCause::InvalidOpcode,
+                    modules: vec![
+                        StackModule::DvsIpcMsg,
+                        StackModule::XpmemFault,
+                        StackModule::Generic,
+                    ],
+                },
+            },
+        });
+    }
+
+    #[test]
+    fn hung_task_with_trace_round_trips() {
+        use crate::event::*;
+        roundtrip(LogEvent {
+            time: SimTime::from_millis(777),
+            payload: Payload::Console {
+                node: NodeId(40),
+                detail: ConsoleDetail::HungTaskTimeout {
+                    task: AppKind::Genomics,
+                    pid: 31337,
+                    modules: vec![StackModule::IoSchedule, StackModule::RwsemDownFailed],
+                },
+            },
+        });
+    }
+
+    #[test]
+    fn interleaved_traces_from_two_nodes() {
+        use crate::event::*;
+        let a = LogEvent {
+            time: SimTime::from_millis(1000),
+            payload: Payload::Console {
+                node: NodeId(0),
+                detail: ConsoleDetail::KernelOops {
+                    cause: OopsCause::PagingRequest,
+                    modules: vec![StackModule::LdlmBl],
+                },
+            },
+        };
+        let b = LogEvent {
+            time: SimTime::from_millis(1001),
+            payload: Payload::Console {
+                node: NodeId(1),
+                detail: ConsoleDetail::KernelOops {
+                    cause: OopsCause::NullDeref,
+                    modules: vec![StackModule::MceLog],
+                },
+            },
+        };
+        let la = render(&a, SchedulerKind::Slurm);
+        let lb = render(&b, SchedulerKind::Slurm);
+        // Interleave: a0 b0 a1 b1 a2 b2
+        let mut parser = LogParser::new();
+        let mut out = Vec::new();
+        for i in 0..3 {
+            parser.parse_line(LogSource::Console, &la[i], &mut out);
+            parser.parse_line(LogSource::Console, &lb[i], &mut out);
+        }
+        parser.finish(&mut out);
+        assert_eq!(out.len(), 2);
+        assert!(out.contains(&a));
+        assert!(out.contains(&b));
+    }
+
+    #[test]
+    fn controller_round_trips() {
+        use crate::event::*;
+        let blade_scope = ControllerScope::Blade(BladeId(12));
+        let cab_scope = ControllerScope::Cabinet(CabinetId(1));
+        let cases = vec![
+            (
+                blade_scope,
+                ControllerDetail::NodeHeartbeatFault { node: NodeId(49) },
+            ),
+            (
+                blade_scope,
+                ControllerDetail::NodeVoltageFault { node: NodeId(50) },
+            ),
+            (blade_scope, ControllerDetail::BcHeartbeatFault),
+            (blade_scope, ControllerDetail::EcbFault { channel: 2 }),
+            (
+                blade_scope,
+                ControllerDetail::SensorReadFailed { channel: 7 },
+            ),
+            (cab_scope, ControllerDetail::CabinetPowerFault),
+            (cab_scope, ControllerDetail::MicroControllerFault),
+            (cab_scope, ControllerDetail::CommunicationFault),
+            (blade_scope, ControllerDetail::ModuleHealthFault),
+            (cab_scope, ControllerDetail::RpmFault { fan: 1 }),
+            (
+                blade_scope,
+                ControllerDetail::L0SysdMce { node: NodeId(48) },
+            ),
+            (
+                blade_scope,
+                ControllerDetail::NodePowerOff { node: NodeId(51) },
+            ),
+        ];
+        for (scope, detail) in cases {
+            roundtrip(LogEvent {
+                time: SimTime::from_millis(42),
+                payload: Payload::Controller { scope, detail },
+            });
+        }
+    }
+
+    #[test]
+    fn erd_round_trips() {
+        use crate::event::*;
+        use hpc_platform::sensors::{Deviation, SensorKind};
+        let cases = vec![
+            (
+                ControllerScope::Cabinet(CabinetId(0)),
+                ErdDetail::SedcWarning {
+                    sensor: SensorKind::Voltage,
+                    channel: 5,
+                    reading: 11.125,
+                    deviation: Deviation::BelowMinimum,
+                },
+            ),
+            (
+                ControllerScope::Blade(NodeId(100).blade()),
+                ErdDetail::HwError {
+                    node: NodeId(100),
+                    component: Component::Dimm,
+                },
+            ),
+            (
+                ControllerScope::Blade(BladeId(6)),
+                ErdDetail::SedcReading {
+                    sensor: SensorKind::Temperature,
+                    channel: 2,
+                    reading: 39.75,
+                },
+            ),
+            (ControllerScope::Blade(BladeId(3)), ErdDetail::HeartbeatStop),
+            (ControllerScope::Blade(BladeId(3)), ErdDetail::L0Failed),
+            (
+                ControllerScope::Blade(BladeId(3)),
+                ErdDetail::LinkError {
+                    port: 4,
+                    kind: LinkErrorKind::Failover { succeeded: false },
+                },
+            ),
+            (
+                ControllerScope::Cabinet(CabinetId(2)),
+                ErdDetail::Environment {
+                    air_flow_reduced: true,
+                },
+            ),
+            (
+                ControllerScope::Cabinet(CabinetId(2)),
+                ErdDetail::CabinetSensorCheck { ok: false },
+            ),
+            (
+                ControllerScope::Blade(NodeId(9).blade()),
+                ErdDetail::NodeFailed { node: NodeId(9) },
+            ),
+        ];
+        for (scope, detail) in cases {
+            roundtrip(LogEvent {
+                time: SimTime::from_millis(123_456),
+                payload: Payload::Erd { scope, detail },
+            });
+        }
+    }
+
+    #[test]
+    fn scheduler_round_trips() {
+        use crate::event::*;
+        let cases = vec![
+            SchedulerDetail::JobStart {
+                job: JobId(31),
+                apid: Apid(9001),
+                user: 1017,
+                app: AppKind::Climate,
+                nodes: vec![NodeId(3), NodeId(4), NodeId(5), NodeId(17)],
+                mem_per_node_mib: 65536,
+            },
+            SchedulerDetail::JobEnd {
+                job: JobId(31),
+                exit_code: -11,
+                reason: JobEndReason::NodeFail,
+            },
+            SchedulerDetail::NhcResult {
+                node: NodeId(12),
+                test: NhcTest::AppExit,
+                passed: false,
+            },
+            SchedulerDetail::NodeStateChange {
+                node: NodeId(12),
+                state: NodeState::AdminDown,
+            },
+            SchedulerDetail::EpilogueCleanup {
+                job: JobId(31),
+                node: NodeId(4),
+            },
+            SchedulerDetail::MemOverallocation {
+                job: JobId(31),
+                node: NodeId(4),
+                requested_mib: 131072,
+                available_mib: 65536,
+            },
+        ];
+        for detail in cases {
+            roundtrip(LogEvent {
+                time: SimTime::from_millis(987_654),
+                payload: Payload::Scheduler { detail },
+            });
+        }
+    }
+
+    #[test]
+    fn unrecognised_lines_are_counted_not_fatal() {
+        let mut parser = LogParser::new();
+        let mut out = Vec::new();
+        assert!(!parser.parse_line(LogSource::Console, "not a log line", &mut out));
+        assert!(!parser.parse_line(
+            LogSource::Console,
+            "2016-01-01T00:00:00.000 c0-0c0s0n0 kernel: some unknown chatter",
+            &mut out
+        ));
+        assert!(!parser.parse_line(
+            LogSource::Erd,
+            "2016-01-01T00:00:00.000 erd: ec_bogus src=c0-0",
+            &mut out
+        ));
+        assert_eq!(parser.skipped_lines, 3);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn orphan_trace_frames_are_skipped() {
+        let mut parser = LogParser::new();
+        let mut out = Vec::new();
+        // A frame with no preceding oops must not panic or emit.
+        let ok = parser.parse_line(
+            LogSource::Console,
+            "2016-01-01T00:00:00.000 c0-0c0s0n0 kernel:  [<ffffffff8100beef>] mce_log+0x132/0x240",
+            &mut out,
+        );
+        assert!(!ok);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn parse_stream_convenience() {
+        let ev = LogEvent {
+            time: SimTime::from_millis(0),
+            payload: Payload::Console {
+                node: NodeId(2),
+                detail: ConsoleDetail::DiskError,
+            },
+        };
+        let lines = render(&ev, SchedulerKind::Slurm);
+        let refs: Vec<&str> = lines.iter().map(|s| s.as_str()).collect();
+        let (events, skipped) = LogParser::parse_stream(LogSource::Console, refs);
+        assert_eq!(events, vec![ev]);
+        assert_eq!(skipped, 0);
+    }
+
+    #[test]
+    fn field_extractor() {
+        assert_eq!(field("a=1 b=2 c=3", "b="), Some("2"));
+        assert_eq!(field("a=1 b=2", "z="), None);
+        assert_eq!(field("tail=last", "tail="), Some("last"));
+    }
+}

@@ -1,0 +1,153 @@
+//! Interconnect fabrics and link-error vocabulary.
+//!
+//! The paper's case studies (Table V) repeatedly reference *Aries link
+//! errors* as external indicators that are "distant from the failure time" —
+//! i.e. usually benign — while failed interconnect failovers are cited as a
+//! recovery weakness. We model just enough of the fabric to produce
+//! realistic link-error events: each blade exposes HSN ports, links connect
+//! port pairs, and errors carry a class (CRC, lane degrade, failover).
+
+use serde::{Deserialize, Serialize};
+
+use crate::id::BladeId;
+
+/// The interconnect family of a system (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InterconnectKind {
+    /// Cray Aries in a Dragonfly topology (S1, S3, S4).
+    AriesDragonfly,
+    /// Cray Gemini in a 3-D torus (S2).
+    GeminiTorus,
+    /// Mellanox Infiniband fat-tree (S5).
+    Infiniband,
+}
+
+impl InterconnectKind {
+    /// Table I display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            InterconnectKind::AriesDragonfly => "Aries Dragonfly",
+            InterconnectKind::GeminiTorus => "Gemini Torus",
+            InterconnectKind::Infiniband => "Infiniband",
+        }
+    }
+
+    /// Vendor ASIC name used in log lines (`aries`, `gemini`, `mlx`).
+    pub fn asic(self) -> &'static str {
+        match self {
+            InterconnectKind::AriesDragonfly => "aries",
+            InterconnectKind::GeminiTorus => "gemini",
+            InterconnectKind::Infiniband => "mlx5",
+        }
+    }
+
+    /// HSN ports per blade for this fabric.
+    pub fn ports_per_blade(self) -> u8 {
+        match self {
+            InterconnectKind::AriesDragonfly => 8,
+            InterconnectKind::GeminiTorus => 6,
+            InterconnectKind::Infiniband => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for InterconnectKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One endpoint of a link: a port on a blade's router ASIC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Port {
+    /// Blade hosting the router ASIC.
+    pub blade: BladeId,
+    /// Port index on that ASIC.
+    pub port: u8,
+}
+
+impl std::fmt::Display for Port {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}p{}", self.blade.cname(), self.port)
+    }
+}
+
+/// Classes of interconnect error events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkErrorKind {
+    /// CRC error on a lane — common, usually recovered transparently.
+    Crc,
+    /// Lane degrade: link renegotiated at reduced width.
+    LaneDegrade,
+    /// Link inactive / down, triggering a route recompute.
+    LinkDown,
+    /// Failover to a redundant path; the paper cites *failed* failovers
+    /// (ref. \[22\]) as a recovery pain point.
+    Failover {
+        /// Whether the failover succeeded.
+        succeeded: bool,
+    },
+}
+
+impl LinkErrorKind {
+    /// Log fragment for rendering.
+    pub fn as_log_fragment(self) -> &'static str {
+        match self {
+            LinkErrorKind::Crc => "lane CRC error",
+            LinkErrorKind::LaneDegrade => "lane degrade: width reduced",
+            LinkErrorKind::LinkDown => "link inactive",
+            LinkErrorKind::Failover { succeeded: true } => "failover completed",
+            LinkErrorKind::Failover { succeeded: false } => "failover FAILED",
+        }
+    }
+
+    /// Whether this error by itself threatens node health (only failed
+    /// failovers and persistent link-down states do; CRC/degrade are noise).
+    pub fn is_severe(self) -> bool {
+        matches!(
+            self,
+            LinkErrorKind::LinkDown | LinkErrorKind::Failover { succeeded: false }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn asic_names() {
+        assert_eq!(InterconnectKind::AriesDragonfly.asic(), "aries");
+        assert_eq!(InterconnectKind::GeminiTorus.asic(), "gemini");
+        assert_eq!(InterconnectKind::Infiniband.asic(), "mlx5");
+    }
+
+    #[test]
+    fn severity_classification() {
+        assert!(!LinkErrorKind::Crc.is_severe());
+        assert!(!LinkErrorKind::LaneDegrade.is_severe());
+        assert!(LinkErrorKind::LinkDown.is_severe());
+        assert!(LinkErrorKind::Failover { succeeded: false }.is_severe());
+        assert!(!LinkErrorKind::Failover { succeeded: true }.is_severe());
+    }
+
+    #[test]
+    fn port_display_embeds_cname() {
+        let p = Port {
+            blade: BladeId(0),
+            port: 3,
+        };
+        assert_eq!(p.to_string(), "c0-0c0s0p3");
+    }
+
+    #[test]
+    fn ports_per_blade_positive() {
+        for k in [
+            InterconnectKind::AriesDragonfly,
+            InterconnectKind::GeminiTorus,
+            InterconnectKind::Infiniband,
+        ] {
+            assert!(k.ports_per_blade() > 0);
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! # hpc-platform
+//!
+//! Structural model of the HPC platforms studied in *"Systemic Assessment of
+//! Node Failures in HPC Production Platforms"* (IPDPS 2021).
+//!
+//! The paper analyses five systems (S1–S5, Table I): four Cray machines
+//! (XC30/XE6/XC40) and one institutional Infiniband cluster. All diagnosis in
+//! the paper is anchored on the physical containment hierarchy
+//!
+//! ```text
+//! cabinet ─► chassis ─► blade (slot) ─► node
+//! ```
+//!
+//! because blade controllers (BC) and cabinet controllers (CC) emit the
+//! *external* environmental logs that the paper correlates with *internal*
+//! node logs. This crate provides:
+//!
+//! * [`id`] — strongly-typed identifiers and the Cray *cname* scheme
+//!   (`c0-0c0s0n0`), with parsing and formatting.
+//! * [`topology`] — the containment hierarchy, membership queries and spatial
+//!   distance used for the paper's spatial-correlation analysis (Fig. 7, 18).
+//! * [`system`] — the Table I system profiles S1–S5.
+//! * [`components`] — per-node hardware inventory (sockets, DIMMs, NIC, disk,
+//!   GPU, burst buffer) referenced by fault injection.
+//! * [`sensors`] — SEDC sensor kinds, operating ranges and thresholds that
+//!   drive the environmental (SEDC) warning streams of Figs. 8, 9, 11.
+//! * [`interconnect`] — Aries/Gemini/Infiniband link identifiers and error
+//!   classes used for link-error events.
+//!
+//! Everything here is deterministic and allocation-light: identifiers are
+//! plain `u32` indices with O(1) conversions, so the fault simulator and the
+//! diagnosis pipeline can handle hundreds of thousands of events cheaply.
+
+pub mod components;
+pub mod id;
+pub mod interconnect;
+pub mod rng;
+pub mod sensors;
+pub mod system;
+pub mod topology;
+
+pub use id::{BladeId, CabinetId, ChassisId, Cname, NodeId};
+pub use system::{SystemId, SystemProfile};
+pub use topology::Topology;

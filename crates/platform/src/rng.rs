@@ -1,0 +1,136 @@
+//! Deterministic sampling helpers shared by the workload and fault
+//! generators.
+//!
+//! All experiment randomness flows through `rand::rngs::StdRng` seeded from
+//! experiment constants, so runs are bit-for-bit reproducible. These helpers
+//! add the few distributions the generators need (exponential inter-arrival
+//! times, weighted choices, subset sampling) without pulling in `rand_distr`.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Exponential sample with the given mean (inverse rate). Used for Poisson
+/// arrival processes of jobs and faults.
+pub fn exp_sample<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    assert!(mean > 0.0, "exponential mean must be positive");
+    // Inverse CDF; 1-u avoids ln(0).
+    let u: f64 = rng.gen::<f64>();
+    -(1.0 - u).ln() * mean
+}
+
+/// Picks an index according to non-negative weights. Panics if all weights
+/// are zero or the slice is empty (configuration error).
+pub fn weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    assert!(
+        total > 0.0 && weights.iter().all(|w| *w >= 0.0),
+        "weights must be non-negative with positive sum"
+    );
+    let mut x = rng.gen::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        x -= w;
+        if x <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// Bernoulli draw.
+pub fn chance<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
+    p > 0.0 && (p >= 1.0 || rng.gen::<f64>() < p)
+}
+
+/// Samples `k` distinct elements of `items` (all of them if `k >= len`),
+/// preserving no particular order.
+pub fn sample_subset<R: Rng + ?Sized, T: Clone>(rng: &mut R, items: &[T], k: usize) -> Vec<T> {
+    if k >= items.len() {
+        return items.to_vec();
+    }
+    let mut idx: Vec<usize> = (0..items.len()).collect();
+    idx.shuffle(rng);
+    idx.truncate(k);
+    idx.into_iter().map(|i| items[i].clone()).collect()
+}
+
+/// Gaussian sample via Box–Muller (mean, stddev).
+pub fn normal_sample<R: Rng + ?Sized>(rng: &mut R, mean: f64, stddev: f64) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(1e-12);
+    let u2: f64 = rng.gen::<f64>();
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    mean + stddev * z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exp_sample_mean_converges() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| exp_sample(&mut rng, 5.0)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.15, "sample mean {mean}");
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0u32; 3];
+        for _ in 0..30_000 {
+            counts[weighted_index(&mut rng, &[1.0, 0.0, 3.0])] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(!chance(&mut rng, 0.0));
+        assert!(chance(&mut rng, 1.0));
+        let hits = (0..10_000).filter(|_| chance(&mut rng, 0.25)).count();
+        assert!((hits as f64 / 10_000.0 - 0.25).abs() < 0.03);
+    }
+
+    #[test]
+    fn sample_subset_sizes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let items: Vec<u32> = (0..10).collect();
+        let s = sample_subset(&mut rng, &items, 4);
+        assert_eq!(s.len(), 4);
+        let mut uniq = s.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 4, "distinct elements");
+        assert_eq!(sample_subset(&mut rng, &items, 99), items);
+        assert!(sample_subset(&mut rng, &items, 0).is_empty());
+    }
+
+    #[test]
+    fn normal_sample_moments() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| normal_sample(&mut rng, 40.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        assert!((mean - 40.0).abs() < 0.1, "mean {mean}");
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "stddev {}", var.sqrt());
+    }
+
+    #[test]
+    fn determinism_under_fixed_seed() {
+        let a: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..5).map(|_| exp_sample(&mut rng, 1.0)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..5).map(|_| exp_sample(&mut rng, 1.0)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,310 @@
+//! SEDC sensor model: kinds, operating ranges, thresholds and deviation
+//! classification.
+//!
+//! Cray's System Environmental Data Collections (SEDC) samples hundreds of
+//! sensors per cabinet. The paper's external analysis (Figs. 5–9, 11; Table
+//! III) is built on *threshold deviations* logged by blade controllers (BC)
+//! and cabinet controllers (CC): temperature, voltage, fan speed / air
+//! velocity, current and power. Crucially, the paper finds most of these
+//! deviations to be **benign** (Obs. 3): healthy blades routinely trip the
+//! same thresholds as failing ones.
+//!
+//! This module defines the sensor vocabulary shared by the fault simulator
+//! (which samples readings) and the diagnosis pipeline (which classifies
+//! parsed warnings).
+
+use serde::{Deserialize, Serialize};
+
+/// The kind of environmental sensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SensorKind {
+    /// CPU / board temperature in °C (Fig. 11 plots per-node CPU temps).
+    Temperature,
+    /// Supply voltage in volts.
+    Voltage,
+    /// Cabinet fan speed in RPM.
+    FanSpeed,
+    /// Cabinet air velocity in m/s (firmware reduces it under thermal load,
+    /// §III-C).
+    AirVelocity,
+    /// Board current in amperes (ECB — electronic circuit breaker — faults
+    /// relate to current monitoring).
+    Current,
+    /// Node power draw in watts.
+    Power,
+}
+
+impl SensorKind {
+    /// All sensor kinds.
+    pub const ALL: [SensorKind; 6] = [
+        SensorKind::Temperature,
+        SensorKind::Voltage,
+        SensorKind::FanSpeed,
+        SensorKind::AirVelocity,
+        SensorKind::Current,
+        SensorKind::Power,
+    ];
+
+    /// SEDC mnemonic used in rendered log lines.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            SensorKind::Temperature => "TEMP",
+            SensorKind::Voltage => "VOLT",
+            SensorKind::FanSpeed => "FAN_RPM",
+            SensorKind::AirVelocity => "AIR_VEL",
+            SensorKind::Current => "CURRENT",
+            SensorKind::Power => "POWER",
+        }
+    }
+
+    /// Parses a mnemonic back into a kind.
+    pub fn from_mnemonic(s: &str) -> Option<SensorKind> {
+        Some(match s {
+            "TEMP" => SensorKind::Temperature,
+            "VOLT" => SensorKind::Voltage,
+            "FAN_RPM" => SensorKind::FanSpeed,
+            "AIR_VEL" => SensorKind::AirVelocity,
+            "CURRENT" => SensorKind::Current,
+            "POWER" => SensorKind::Power,
+            _ => return None,
+        })
+    }
+
+    /// Unit string for display.
+    pub fn unit(self) -> &'static str {
+        match self {
+            SensorKind::Temperature => "C",
+            SensorKind::Voltage => "V",
+            SensorKind::FanSpeed => "RPM",
+            SensorKind::AirVelocity => "m/s",
+            SensorKind::Current => "A",
+            SensorKind::Power => "W",
+        }
+    }
+
+    /// Nominal operating range for this sensor kind: (low threshold, nominal
+    /// value, high threshold). Readings outside [low, high] produce SEDC
+    /// warnings. Values follow typical XC series operating envelopes.
+    pub fn range(self) -> SensorRange {
+        match self {
+            SensorKind::Temperature => SensorRange::new(10.0, 40.0, 75.0),
+            SensorKind::Voltage => SensorRange::new(11.4, 12.0, 12.6),
+            SensorKind::FanSpeed => SensorRange::new(2000.0, 4800.0, 9000.0),
+            SensorKind::AirVelocity => SensorRange::new(1.2, 3.0, 6.0),
+            SensorKind::Current => SensorRange::new(1.0, 18.0, 40.0),
+            SensorKind::Power => SensorRange::new(40.0, 280.0, 450.0),
+        }
+    }
+
+    /// Gaussian jitter applied to nominal readings during healthy sampling,
+    /// as a standard deviation in the sensor's unit.
+    pub fn healthy_jitter(self) -> f64 {
+        match self {
+            SensorKind::Temperature => 1.8,
+            SensorKind::Voltage => 0.08,
+            SensorKind::FanSpeed => 220.0,
+            SensorKind::AirVelocity => 0.25,
+            SensorKind::Current => 1.4,
+            SensorKind::Power => 22.0,
+        }
+    }
+}
+
+impl std::fmt::Display for SensorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Operating envelope of a sensor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SensorRange {
+    /// Minimum allowed reading; below this a `below minimum` SEDC warning is
+    /// logged (the paper notes most warnings are *below-minimum* ones).
+    pub low: f64,
+    /// Nominal healthy reading.
+    pub nominal: f64,
+    /// Maximum allowed reading.
+    pub high: f64,
+}
+
+impl SensorRange {
+    /// Builds a range; panics if not `low <= nominal <= high` (programmer
+    /// error).
+    pub fn new(low: f64, nominal: f64, high: f64) -> SensorRange {
+        assert!(
+            low <= nominal && nominal <= high,
+            "invalid sensor range {low} <= {nominal} <= {high}"
+        );
+        SensorRange { low, nominal, high }
+    }
+
+    /// Classifies a reading against the envelope.
+    pub fn classify(&self, reading: f64) -> Deviation {
+        if reading < self.low {
+            Deviation::BelowMinimum
+        } else if reading > self.high {
+            Deviation::AboveMaximum
+        } else {
+            Deviation::Nominal
+        }
+    }
+
+    /// Width of the healthy band.
+    pub fn band(&self) -> f64 {
+        self.high - self.low
+    }
+}
+
+/// Outcome of classifying one sensor reading.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Deviation {
+    /// Within the allowed envelope.
+    Nominal,
+    /// Below the minimum allowed threshold (most common benign warning,
+    /// §III-C: warnings "predominantly contain warnings for temperature,
+    /// voltage or velocity falling below the minimum allowed system
+    /// threshold").
+    BelowMinimum,
+    /// Above the maximum allowed threshold.
+    AboveMaximum,
+}
+
+impl Deviation {
+    /// Whether this reading would produce an SEDC warning.
+    pub fn is_warning(self) -> bool {
+        self != Deviation::Nominal
+    }
+
+    /// Log text fragment.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Deviation::Nominal => "nominal",
+            Deviation::BelowMinimum => "below minimum threshold",
+            Deviation::AboveMaximum => "above maximum threshold",
+        }
+    }
+}
+
+/// One sensor instance attached to a blade or cabinet controller.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SensorSpec {
+    /// What it measures.
+    pub kind: SensorKind,
+    /// Sensor channel index on the controller (controllers multiplex many
+    /// channels; the id appears in `get sensor reading failed` faults).
+    pub channel: u16,
+}
+
+/// Default sensor complement of a blade controller: per-node temperature and
+/// voltage plus a board current sensor.
+pub fn blade_controller_sensors() -> Vec<SensorSpec> {
+    let mut v = Vec::with_capacity(9);
+    for ch in 0..4 {
+        v.push(SensorSpec {
+            kind: SensorKind::Temperature,
+            channel: ch,
+        });
+        v.push(SensorSpec {
+            kind: SensorKind::Voltage,
+            channel: 4 + ch,
+        });
+    }
+    v.push(SensorSpec {
+        kind: SensorKind::Current,
+        channel: 8,
+    });
+    v
+}
+
+/// Default sensor complement of a cabinet controller: fans, air velocity,
+/// inlet temperature and power.
+pub fn cabinet_controller_sensors() -> Vec<SensorSpec> {
+    vec![
+        SensorSpec {
+            kind: SensorKind::FanSpeed,
+            channel: 0,
+        },
+        SensorSpec {
+            kind: SensorKind::FanSpeed,
+            channel: 1,
+        },
+        SensorSpec {
+            kind: SensorKind::AirVelocity,
+            channel: 2,
+        },
+        SensorSpec {
+            kind: SensorKind::Temperature,
+            channel: 3,
+        },
+        SensorSpec {
+            kind: SensorKind::Power,
+            channel: 4,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_are_well_formed() {
+        for kind in SensorKind::ALL {
+            let r = kind.range();
+            assert!(r.low < r.nominal, "{kind:?}");
+            assert!(r.nominal < r.high, "{kind:?}");
+            assert!(r.band() > 0.0);
+        }
+    }
+
+    #[test]
+    fn classification_boundaries() {
+        let r = SensorKind::Temperature.range();
+        assert_eq!(r.classify(r.low), Deviation::Nominal, "low edge inclusive");
+        assert_eq!(
+            r.classify(r.high),
+            Deviation::Nominal,
+            "high edge inclusive"
+        );
+        assert_eq!(r.classify(r.low - 0.01), Deviation::BelowMinimum);
+        assert_eq!(r.classify(r.high + 0.01), Deviation::AboveMaximum);
+        assert_eq!(r.classify(r.nominal), Deviation::Nominal);
+    }
+
+    #[test]
+    fn mnemonic_round_trip() {
+        for kind in SensorKind::ALL {
+            assert_eq!(SensorKind::from_mnemonic(kind.mnemonic()), Some(kind));
+        }
+        assert_eq!(SensorKind::from_mnemonic("BOGUS"), None);
+    }
+
+    #[test]
+    fn warning_flag() {
+        assert!(!Deviation::Nominal.is_warning());
+        assert!(Deviation::BelowMinimum.is_warning());
+        assert!(Deviation::AboveMaximum.is_warning());
+    }
+
+    #[test]
+    fn controller_sensor_complements() {
+        let bc = blade_controller_sensors();
+        assert_eq!(bc.len(), 9);
+        assert_eq!(
+            bc.iter()
+                .filter(|s| s.kind == SensorKind::Temperature)
+                .count(),
+            4
+        );
+        let cc = cabinet_controller_sensors();
+        assert!(cc.iter().any(|s| s.kind == SensorKind::AirVelocity));
+        assert!(cc.iter().any(|s| s.kind == SensorKind::FanSpeed));
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_range_panics() {
+        SensorRange::new(10.0, 5.0, 20.0);
+    }
+}

@@ -1,0 +1,64 @@
+//! Property tests over identifiers and topology invariants.
+
+use proptest::prelude::*;
+
+use hpc_platform::id::{Cname, NODES_PER_BLADE, NODES_PER_CABINET};
+use hpc_platform::{BladeId, NodeId, SystemId, Topology};
+
+proptest! {
+    #[test]
+    fn node_cname_round_trips(raw in 0u32..2_000_000) {
+        let node = NodeId(raw);
+        let s = node.cname().to_string();
+        let parsed: Cname = s.parse().unwrap();
+        prop_assert_eq!(parsed.node_id(), Some(node));
+        prop_assert_eq!(parsed.granularity(), 3);
+    }
+
+    #[test]
+    fn blade_cname_round_trips(raw in 0u32..500_000) {
+        let blade = BladeId(raw);
+        let s = blade.cname().to_string();
+        let parsed: Cname = s.parse().unwrap();
+        prop_assert_eq!(parsed.blade_id(), Some(blade));
+        prop_assert_eq!(parsed.node_id(), None);
+    }
+
+    #[test]
+    fn containment_is_consistent(raw in 0u32..2_000_000) {
+        let node = NodeId(raw);
+        prop_assert_eq!(node.blade().chassis(), node.chassis());
+        prop_assert_eq!(node.chassis().cabinet(), node.cabinet());
+        prop_assert_eq!(node.blade().cabinet(), node.cabinet());
+        prop_assert!(node.slot_in_blade() < NODES_PER_BLADE);
+        // The node is among its blade's nodes.
+        prop_assert!(node.blade().nodes().any(|n| n == node));
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_reflexive(a in 0u32..20_000, b in 0u32..20_000) {
+        let t = Topology::of(SystemId::S2); // 6400 nodes
+        let a = NodeId(a % t.node_count());
+        let b = NodeId(b % t.node_count());
+        prop_assert_eq!(t.distance(a, b), t.distance(b, a));
+        prop_assert_eq!(t.distance(a, a), 0);
+        prop_assert!(t.distance(a, b) <= 4);
+        // Distance 0 ⇔ same blade.
+        prop_assert_eq!(t.distance(a, b) == 0, a.blade() == b.blade());
+    }
+
+    #[test]
+    fn miniature_topologies_validate(cabinets in 1u32..40) {
+        let t = Topology::miniature(SystemId::S1, cabinets);
+        t.validate().unwrap();
+        prop_assert_eq!(t.node_count(), cabinets * NODES_PER_CABINET);
+        // Every node of every blade is contained.
+        let last_blade = BladeId(t.blade_count() - 1);
+        prop_assert!(t.blade_nodes(last_blade).count() > 0);
+    }
+
+    #[test]
+    fn cname_parser_rejects_or_accepts_but_never_panics(s in "[ -~]{0,24}") {
+        let _ = s.parse::<Cname>();
+    }
+}

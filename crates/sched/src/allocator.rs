@@ -1,0 +1,135 @@
+//! Node allocation, including the memory-overallocation bug of Fig. 17.
+//!
+//! The allocator models dedicated-node scheduling: each node runs at most
+//! one job at a time; allocations are first-fit over the node index, which
+//! mimics how real schedulers produce a mix of contiguous blocks and
+//! scattered fragments — giving the paper's "spatially distant nodes with
+//! temporal locality of failures because of the common jobs running on
+//! them" (Obs. 8).
+//!
+//! The Fig. 17 pathology is modelled explicitly: Slurm occasionally grants
+//! a memory request that exceeds the node's physical capacity; the affected
+//! subset of nodes later OOMs under load (injected by `hpc-faultsim`).
+
+use hpc_logs::time::SimTime;
+use hpc_platform::{NodeId, Topology};
+
+/// First-fit dedicated-node allocator.
+#[derive(Debug, Clone)]
+pub struct Allocator {
+    /// Per-node time until which the node is busy.
+    busy_until: Vec<SimTime>,
+    /// Per-node physical memory (MiB).
+    node_mem_mib: u32,
+}
+
+impl Allocator {
+    /// New allocator over a topology; `node_mem_mib` is the physical memory
+    /// of each node.
+    pub fn new(topology: &Topology, node_mem_mib: u32) -> Allocator {
+        Allocator {
+            busy_until: vec![SimTime::EPOCH; topology.node_count() as usize],
+            node_mem_mib,
+        }
+    }
+
+    /// Physical memory per node in MiB.
+    pub fn node_mem_mib(&self) -> u32 {
+        self.node_mem_mib
+    }
+
+    /// Number of nodes free at `t`.
+    pub fn free_at(&self, t: SimTime) -> usize {
+        self.busy_until.iter().filter(|&&b| b <= t).count()
+    }
+
+    /// Attempts to allocate `count` nodes from `start` to `end`. Returns the
+    /// chosen nodes (first-fit by index) or `None` if fewer than `count`
+    /// nodes are free at `start`.
+    pub fn allocate(&mut self, count: usize, start: SimTime, end: SimTime) -> Option<Vec<NodeId>> {
+        debug_assert!(start <= end);
+        let mut chosen = Vec::with_capacity(count);
+        for (i, busy) in self.busy_until.iter().enumerate() {
+            if *busy <= start {
+                chosen.push(NodeId(i as u32));
+                if chosen.len() == count {
+                    break;
+                }
+            }
+        }
+        if chosen.len() < count {
+            return None;
+        }
+        for n in &chosen {
+            self.busy_until[n.index()] = end;
+        }
+        Some(chosen)
+    }
+
+    /// Releases a node early (job truncated by failure). The node remains
+    /// unavailable until `until` (reboot/NHC recovery window).
+    pub fn release_until(&mut self, node: NodeId, until: SimTime) {
+        self.busy_until[node.index()] = until;
+    }
+
+    /// Whether a memory request of `requested_mib` per node overcommits the
+    /// physical node memory — the precondition of the Fig. 17 bug.
+    pub fn is_overallocation(&self, requested_mib: u32) -> bool {
+        requested_mib > self.node_mem_mib
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpc_platform::SystemId;
+
+    fn topo() -> Topology {
+        Topology::miniature(SystemId::S1, 1) // 192 nodes
+    }
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn allocate_first_fit() {
+        let mut a = Allocator::new(&topo(), 65_536);
+        let got = a.allocate(3, t(0), t(100)).unwrap();
+        assert_eq!(got, vec![NodeId(0), NodeId(1), NodeId(2)]);
+        // Those nodes are busy until 100.
+        let next = a.allocate(2, t(50), t(150)).unwrap();
+        assert_eq!(next, vec![NodeId(3), NodeId(4)]);
+        // After 100 the originals are free again.
+        let reuse = a.allocate(1, t(100), t(200)).unwrap();
+        assert_eq!(reuse, vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn allocation_fails_when_machine_full() {
+        let mut a = Allocator::new(&topo(), 65_536);
+        assert!(a.allocate(192, t(0), t(100)).is_some());
+        assert!(a.allocate(1, t(50), t(60)).is_none());
+        assert_eq!(a.free_at(t(50)), 0);
+        assert_eq!(a.free_at(t(100)), 192);
+    }
+
+    #[test]
+    fn release_until_reserves_recovery_window() {
+        let mut a = Allocator::new(&topo(), 65_536);
+        let got = a.allocate(1, t(0), t(1000)).unwrap();
+        a.release_until(got[0], t(500));
+        assert!(a.allocate(1, t(400), t(450)).map(|v| v[0]) != Some(got[0]));
+        // At 500 the node is reusable.
+        let again = a.allocate(192, t(500), t(600));
+        assert!(again.is_some());
+    }
+
+    #[test]
+    fn overallocation_predicate() {
+        let a = Allocator::new(&topo(), 65_536);
+        assert!(!a.is_overallocation(65_536));
+        assert!(a.is_overallocation(65_537));
+        assert!(!a.is_overallocation(1));
+    }
+}

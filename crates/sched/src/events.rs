@@ -1,0 +1,159 @@
+//! Rendering a job timeline into scheduler log events.
+//!
+//! Produces the Slurm/Torque stream the diagnosis pipeline mines for job
+//! attribution: `JobStart` (with node list and memory request),
+//! `MemOverallocation` warnings shortly after start (Fig. 17), `JobEnd`
+//! with exit code and reason (Fig. 12), and per-node epilogue cleanups
+//! (§III-E: "processes also get killed by the epilogue of the job
+//! scheduler").
+
+use hpc_logs::event::{JobEndReason, LogEvent, Payload, SchedulerDetail};
+use hpc_logs::time::SimDuration;
+
+use crate::job::JobTimeline;
+
+/// Delay after job start at which the scheduler notices and logs a memory
+/// overallocation.
+pub const OVERALLOC_NOTICE_DELAY: SimDuration = SimDuration::from_secs(30);
+/// Delay after job end at which the epilogue logs its cleanup per node.
+pub const EPILOGUE_DELAY: SimDuration = SimDuration::from_secs(5);
+
+/// Emits the scheduler event stream for a (final, post-amendment) timeline,
+/// sorted by time.
+pub fn scheduler_events(timeline: &JobTimeline) -> Vec<LogEvent> {
+    let mut out = Vec::with_capacity(timeline.len() * 3);
+    for job in timeline.jobs() {
+        out.push(LogEvent {
+            time: job.start,
+            payload: Payload::Scheduler {
+                detail: SchedulerDetail::JobStart {
+                    job: job.id,
+                    apid: job.apid,
+                    user: job.user,
+                    app: job.app,
+                    nodes: job.nodes.clone(),
+                    mem_per_node_mib: job.mem_per_node_mib,
+                },
+            },
+        });
+        for node in &job.overallocated_nodes {
+            out.push(LogEvent {
+                time: job.start + OVERALLOC_NOTICE_DELAY,
+                payload: Payload::Scheduler {
+                    detail: SchedulerDetail::MemOverallocation {
+                        job: job.id,
+                        node: *node,
+                        requested_mib: job.mem_per_node_mib,
+                        // Physical capacity is what the request overcommits.
+                        available_mib: job.mem_per_node_mib / 2,
+                    },
+                },
+            });
+        }
+        out.push(LogEvent {
+            time: job.end,
+            payload: Payload::Scheduler {
+                detail: SchedulerDetail::JobEnd {
+                    job: job.id,
+                    exit_code: job.exit_code,
+                    reason: job.end_reason,
+                },
+            },
+        });
+        // The epilogue logs per-node cleanups only when it actually had to
+        // remove stray user processes — i.e. the job did not exit cleanly
+        // (§III-E: "processes also get killed by the epilogue of the job
+        // scheduler that removes any user job from a node before it is
+        // reallocated").
+        if job.end_reason != JobEndReason::Completed {
+            for node in &job.nodes {
+                out.push(LogEvent {
+                    time: job.end + EPILOGUE_DELAY,
+                    payload: Payload::Scheduler {
+                        detail: SchedulerDetail::EpilogueCleanup {
+                            job: job.id,
+                            node: *node,
+                        },
+                    },
+                });
+            }
+        }
+    }
+    out.sort_by_key(|e| e.time);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Job;
+    use hpc_logs::event::{Apid, AppKind, JobEndReason, JobId};
+    use hpc_logs::time::SimTime;
+    use hpc_platform::NodeId;
+
+    fn sample_timeline() -> JobTimeline {
+        JobTimeline::from_jobs(vec![Job {
+            id: JobId(1),
+            apid: Apid(100_001),
+            user: 1001,
+            app: AppKind::Matlab,
+            nodes: vec![NodeId(0), NodeId(1)],
+            mem_per_node_mib: 131_072,
+            start: SimTime::from_millis(1_000),
+            end: SimTime::from_millis(601_000),
+            end_reason: JobEndReason::AppError,
+            exit_code: 1,
+            overallocated_nodes: vec![NodeId(1)],
+        }])
+    }
+
+    #[test]
+    fn emits_full_lifecycle_in_order() {
+        let events = scheduler_events(&sample_timeline());
+        // start + 1 overalloc + end + 2 epilogues
+        assert_eq!(events.len(), 5);
+        assert!(events.windows(2).all(|w| w[0].time <= w[1].time));
+        let kinds: Vec<&'static str> = events
+            .iter()
+            .map(|e| match &e.payload {
+                Payload::Scheduler { detail } => match detail {
+                    SchedulerDetail::JobStart { .. } => "start",
+                    SchedulerDetail::MemOverallocation { .. } => "overalloc",
+                    SchedulerDetail::JobEnd { .. } => "end",
+                    SchedulerDetail::EpilogueCleanup { .. } => "epilogue",
+                    _ => "other",
+                },
+                _ => "non-sched",
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            vec!["start", "overalloc", "end", "epilogue", "epilogue"]
+        );
+    }
+
+    #[test]
+    fn overallocation_reports_physical_capacity() {
+        let events = scheduler_events(&sample_timeline());
+        let over = events
+            .iter()
+            .find_map(|e| match &e.payload {
+                Payload::Scheduler {
+                    detail:
+                        SchedulerDetail::MemOverallocation {
+                            requested_mib,
+                            available_mib,
+                            ..
+                        },
+                } => Some((*requested_mib, *available_mib)),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(over, (131_072, 65_536));
+    }
+
+    #[test]
+    fn empty_timeline_is_empty_stream() {
+        assert!(scheduler_events(&JobTimeline::new()).is_empty());
+    }
+}

@@ -1,0 +1,193 @@
+//! Set-overlap and classifier metrics.
+//!
+//! The paper's external-correlation findings are all statements about set
+//! overlap and conditional rates: "67% to 97% of the observed node voltage
+//! faults correspond to failed nodes" (precision of NVF as a failure
+//! predictor), the Fig. 14 false-positive-rate comparison, and Jaccard-style
+//! overlap between faulty-blade sets and failed-node sets (Fig. 7).
+
+use std::collections::BTreeSet;
+
+/// Confusion counts of a binary predictor against ground truth.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Confusion {
+    /// Predicted positive, actually positive.
+    pub tp: u64,
+    /// Predicted positive, actually negative.
+    pub fp: u64,
+    /// Predicted negative, actually positive.
+    pub fn_: u64,
+    /// Predicted negative, actually negative.
+    pub tn: u64,
+}
+
+impl Confusion {
+    /// Builds confusion counts from predicted/actual sets over a universe.
+    ///
+    /// Items in `predicted` are predicted positive; items in `actual` are
+    /// truly positive; everything else in `universe` is negative.
+    pub fn from_sets<T: Ord>(
+        universe: &BTreeSet<T>,
+        predicted: &BTreeSet<T>,
+        actual: &BTreeSet<T>,
+    ) -> Confusion {
+        let mut c = Confusion::default();
+        for item in universe {
+            match (predicted.contains(item), actual.contains(item)) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fp += 1,
+                (false, true) => c.fn_ += 1,
+                (false, false) => c.tn += 1,
+            }
+        }
+        c
+    }
+
+    /// Precision: TP / (TP + FP). The paper's "X% of NVFs correspond to
+    /// failed nodes" is the precision of the fault as a failure flag.
+    /// Returns 0 when no positives were predicted.
+    pub fn precision(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fp)
+    }
+
+    /// Recall: TP / (TP + FN).
+    pub fn recall(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fn_)
+    }
+
+    /// False-positive rate *among predictions*: FP / (TP + FP). This is the
+    /// quantity Fig. 14 reports (fraction of flagged nodes that did not
+    /// fail), not the classical FP/(FP+TN).
+    pub fn false_positive_share(&self) -> f64 {
+        ratio(self.fp, self.tp + self.fp)
+    }
+
+    /// Classical false-positive rate: FP / (FP + TN).
+    pub fn false_positive_rate(&self) -> f64 {
+        ratio(self.fp, self.fp + self.tn)
+    }
+
+    /// F1 score.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Jaccard similarity |A∩B| / |A∪B| (1.0 for two empty sets).
+pub fn jaccard<T: Ord>(a: &BTreeSet<T>, b: &BTreeSet<T>) -> f64 {
+    let inter = a.intersection(b).count();
+    let union = a.union(b).count();
+    if union == 0 {
+        1.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// Fraction of `a` that is also in `b` as a percentage (0 if `a` empty) —
+/// e.g. "what share of failures belonged to faulty blades" (Fig. 7).
+pub fn percent_overlap<T: Ord>(a: &BTreeSet<T>, b: &BTreeSet<T>) -> f64 {
+    if a.is_empty() {
+        0.0
+    } else {
+        100.0 * a.intersection(b).count() as f64 / a.len() as f64
+    }
+}
+
+/// Pearson correlation coefficient of two equal-length series; 0 if either
+/// is constant or the series are empty/mismatched.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    if xs.len() != ys.len() || xs.is_empty() {
+        return 0.0;
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx).powi(2);
+        vy += (y - my).powi(2);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        0.0
+    } else {
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(items: &[u32]) -> BTreeSet<u32> {
+        items.iter().copied().collect()
+    }
+
+    #[test]
+    fn confusion_from_sets() {
+        let universe = set(&[1, 2, 3, 4, 5, 6]);
+        let predicted = set(&[1, 2, 3]);
+        let actual = set(&[2, 3, 4]);
+        let c = Confusion::from_sets(&universe, &predicted, &actual);
+        assert_eq!(c.tp, 2);
+        assert_eq!(c.fp, 1);
+        assert_eq!(c.fn_, 1);
+        assert_eq!(c.tn, 2);
+        assert!((c.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.recall() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.false_positive_share() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((c.false_positive_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert!(c.f1() > 0.0);
+    }
+
+    #[test]
+    fn degenerate_confusions() {
+        let c = Confusion::default();
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+        assert_eq!(c.false_positive_share(), 0.0);
+    }
+
+    #[test]
+    fn jaccard_cases() {
+        assert_eq!(jaccard(&set(&[]), &set(&[])), 1.0);
+        assert_eq!(jaccard(&set(&[1]), &set(&[2])), 0.0);
+        assert!((jaccard(&set(&[1, 2]), &set(&[2, 3])) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(jaccard(&set(&[1, 2]), &set(&[1, 2])), 1.0);
+    }
+
+    #[test]
+    fn percent_overlap_cases() {
+        assert_eq!(percent_overlap(&set(&[]), &set(&[1])), 0.0);
+        assert!((percent_overlap(&set(&[1, 2, 3, 4]), &set(&[1, 2])) - 50.0).abs() < 1e-12);
+        assert_eq!(percent_overlap(&set(&[7]), &set(&[7])), 100.0);
+    }
+
+    #[test]
+    fn pearson_known_values() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((pearson(&xs, &[2.0, 4.0, 6.0, 8.0]) - 1.0).abs() < 1e-12);
+        assert!((pearson(&xs, &[8.0, 6.0, 4.0, 2.0]) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&xs, &[5.0, 5.0, 5.0, 5.0]), 0.0, "constant series");
+        assert_eq!(pearson(&xs, &[1.0]), 0.0, "length mismatch");
+        assert_eq!(pearson(&[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Inter-event times and MTBF analysis.
+//!
+//! Observation 1 of the paper rests on inter-node failure times: "92.3% and
+//! 76.2% of the node failures happen within 1 to 16 minutes of each other…
+//! The mean time between successive failures (MTBF) for those weeks are 1.5
+//! (±0.56) and 12.1 (±4.2) minutes". This module turns a sorted sequence of
+//! event timestamps into gaps, MTBF summaries and CDF-ready samples.
+
+use crate::cdf::Ecdf;
+use crate::descriptive::Summary;
+
+/// Millisecond gaps between successive events of a sorted timestamp slice.
+///
+/// Panics in debug builds if input is unsorted (pipeline bug); `n` events
+/// yield `n-1` gaps.
+pub fn inter_event_gaps_ms(times_ms: &[u64]) -> Vec<u64> {
+    debug_assert!(
+        times_ms.windows(2).all(|w| w[0] <= w[1]),
+        "inter_event_gaps_ms requires sorted input"
+    );
+    times_ms.windows(2).map(|w| w[1] - w[0]).collect()
+}
+
+/// MTBF analysis over one observation window.
+///
+/// ```
+/// use hpc_stats::MtbfAnalysis;
+///
+/// // Failures at 0, 1 and 3 minutes.
+/// let a = MtbfAnalysis::from_times_ms(&[0, 60_000, 180_000]);
+/// assert_eq!(a.mtbf_minutes().mean, 1.5);
+/// assert_eq!(a.percent_within_minutes(1.0), 50.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MtbfAnalysis {
+    gaps_min: Vec<f64>,
+}
+
+impl MtbfAnalysis {
+    /// Builds the analysis from sorted event timestamps (ms).
+    pub fn from_times_ms(times_ms: &[u64]) -> MtbfAnalysis {
+        let gaps_min = inter_event_gaps_ms(times_ms)
+            .into_iter()
+            .map(|g| g as f64 / 60_000.0)
+            .collect();
+        MtbfAnalysis { gaps_min }
+    }
+
+    /// Number of gaps (events - 1).
+    pub fn gap_count(&self) -> usize {
+        self.gaps_min.len()
+    }
+
+    /// Mean time between failures in minutes, with dispersion.
+    pub fn mtbf_minutes(&self) -> Summary {
+        Summary::of(&self.gaps_min)
+    }
+
+    /// ECDF over gaps in minutes — the Fig. 3 / Fig. 19 series.
+    pub fn ecdf_minutes(&self) -> Ecdf {
+        Ecdf::new(self.gaps_min.clone())
+    }
+
+    /// Percentage of gaps at or below `minutes`.
+    pub fn percent_within_minutes(&self, minutes: f64) -> f64 {
+        self.ecdf_minutes().percent_at_or_below(minutes)
+    }
+
+    /// Raw gaps in minutes.
+    pub fn gaps_minutes(&self) -> &[f64] {
+        &self.gaps_min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaps_of_sorted_times() {
+        assert_eq!(inter_event_gaps_ms(&[0, 100, 250]), vec![100, 150]);
+        assert_eq!(inter_event_gaps_ms(&[5]), Vec::<u64>::new());
+        assert_eq!(inter_event_gaps_ms(&[]), Vec::<u64>::new());
+        assert_eq!(inter_event_gaps_ms(&[7, 7, 7]), vec![0, 0]);
+    }
+
+    #[test]
+    fn mtbf_minutes_summary() {
+        // Events 1, 3, 5 minutes apart.
+        let times = [0u64, 60_000, 240_000, 540_000];
+        let a = MtbfAnalysis::from_times_ms(&times);
+        assert_eq!(a.gap_count(), 3);
+        let s = a.mtbf_minutes();
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+    }
+
+    #[test]
+    fn percent_within() {
+        let times = [0u64, 60_000, 120_000, 720_000]; // gaps 1, 1, 10 min
+        let a = MtbfAnalysis::from_times_ms(&times);
+        assert!((a.percent_within_minutes(1.0) - 200.0 / 3.0).abs() < 1e-9);
+        assert_eq!(a.percent_within_minutes(10.0), 100.0);
+        assert_eq!(a.percent_within_minutes(0.5), 0.0);
+    }
+
+    #[test]
+    fn empty_analysis_is_benign() {
+        let a = MtbfAnalysis::from_times_ms(&[]);
+        assert_eq!(a.gap_count(), 0);
+        assert_eq!(a.mtbf_minutes().mean, 0.0);
+        assert_eq!(a.percent_within_minutes(5.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn unsorted_input_panics_in_debug() {
+        inter_event_gaps_ms(&[10, 5]);
+    }
+}

@@ -1,0 +1,152 @@
+//! Time binning: events per day / hour / week.
+//!
+//! Figures 4, 8, 9, 10 and 18 all reduce event streams to per-period counts
+//! (warnings per blade per hour, failures per day, unique blades per week).
+//! [`TimeBinner`] does that reduction over `(timestamp_ms, key)` pairs.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Counts of keyed events per time bin.
+///
+/// Bins are indexed by `t / bin_width` (integer division on millisecond
+/// timestamps), so bin 0 covers `[0, width)` and so on.
+#[derive(Debug, Clone)]
+pub struct TimeBinner<K: Ord> {
+    width_ms: u64,
+    bins: BTreeMap<u64, BTreeMap<K, u64>>,
+}
+
+impl<K: Ord + Clone> TimeBinner<K> {
+    /// New binner with bins of `width_ms` milliseconds.
+    pub fn new(width_ms: u64) -> TimeBinner<K> {
+        assert!(width_ms > 0, "bin width must be positive");
+        TimeBinner {
+            width_ms,
+            bins: BTreeMap::new(),
+        }
+    }
+
+    /// Bin index of a timestamp.
+    pub fn bin_of(&self, t_ms: u64) -> u64 {
+        t_ms / self.width_ms
+    }
+
+    /// Records one event of `key` at time `t_ms`.
+    pub fn add(&mut self, t_ms: u64, key: K) {
+        *self
+            .bins
+            .entry(self.bin_of(t_ms))
+            .or_default()
+            .entry(key)
+            .or_insert(0) += 1;
+    }
+
+    /// Total events in a bin.
+    pub fn bin_total(&self, bin: u64) -> u64 {
+        self.bins.get(&bin).map(|m| m.values().sum()).unwrap_or(0)
+    }
+
+    /// Count of `key` in `bin`.
+    pub fn count(&self, bin: u64, key: &K) -> u64 {
+        self.bins
+            .get(&bin)
+            .and_then(|m| m.get(key))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Distinct keys seen in `bin` (Fig. 8's *unique blade count* query).
+    pub fn unique_keys(&self, bin: u64) -> usize {
+        self.bins.get(&bin).map(|m| m.len()).unwrap_or(0)
+    }
+
+    /// All non-empty bins in order.
+    pub fn bins(&self) -> impl Iterator<Item = (u64, &BTreeMap<K, u64>)> {
+        self.bins.iter().map(|(b, m)| (*b, m))
+    }
+
+    /// Distinct keys across a bin range `[from, to)`.
+    pub fn unique_keys_in_range(&self, from: u64, to: u64) -> usize {
+        let mut set: BTreeSet<&K> = BTreeSet::new();
+        for (_, m) in self.bins.range(from..to) {
+            set.extend(m.keys());
+        }
+        set.len()
+    }
+
+    /// Total events across a bin range `[from, to)`.
+    pub fn total_in_range(&self, from: u64, to: u64) -> u64 {
+        self.bins
+            .range(from..to)
+            .map(|(_, m)| m.values().sum::<u64>())
+            .sum()
+    }
+
+    /// Per-key totals across a bin range `[from, to)`.
+    pub fn totals_by_key(&self, from: u64, to: u64) -> BTreeMap<K, u64> {
+        let mut out: BTreeMap<K, u64> = BTreeMap::new();
+        for (_, m) in self.bins.range(from..to) {
+            for (k, v) in m {
+                *out.entry(k.clone()).or_insert(0) += v;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HOUR: u64 = 3_600_000;
+
+    #[test]
+    fn binning_by_hour() {
+        let mut b: TimeBinner<&str> = TimeBinner::new(HOUR);
+        b.add(0, "x");
+        b.add(HOUR - 1, "x");
+        b.add(HOUR, "y");
+        assert_eq!(b.bin_total(0), 2);
+        assert_eq!(b.bin_total(1), 1);
+        assert_eq!(b.count(0, &"x"), 2);
+        assert_eq!(b.count(1, &"x"), 0);
+        assert_eq!(b.unique_keys(0), 1);
+        assert_eq!(b.unique_keys(1), 1);
+    }
+
+    #[test]
+    fn unique_keys_in_range_dedups_across_bins() {
+        let mut b: TimeBinner<u32> = TimeBinner::new(10);
+        b.add(0, 7);
+        b.add(15, 7);
+        b.add(25, 8);
+        assert_eq!(b.unique_keys_in_range(0, 3), 2); // {7, 8}
+        assert_eq!(b.unique_keys_in_range(0, 2), 1); // {7}
+        assert_eq!(b.total_in_range(0, 3), 3);
+    }
+
+    #[test]
+    fn totals_by_key() {
+        let mut b: TimeBinner<&str> = TimeBinner::new(10);
+        b.add(1, "a");
+        b.add(11, "a");
+        b.add(12, "b");
+        let totals = b.totals_by_key(0, 2);
+        assert_eq!(totals[&"a"], 2);
+        assert_eq!(totals[&"b"], 1);
+    }
+
+    #[test]
+    fn empty_bins_read_zero() {
+        let b: TimeBinner<u8> = TimeBinner::new(10);
+        assert_eq!(b.bin_total(5), 0);
+        assert_eq!(b.unique_keys(5), 0);
+        assert_eq!(b.total_in_range(0, 100), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_width_rejected() {
+        TimeBinner::<u8>::new(0);
+    }
+}

@@ -1,0 +1,8 @@
+fn main() {
+    let out = hpc_faultsim::Scenario::new(hpc_platform::SystemId::S2, 2, 28, 77).run();
+    let mut counts = std::collections::BTreeMap::new();
+    for f in &out.truth.failures {
+        *counts.entry(format!("{:?}", f.cause)).or_insert(0) += 1;
+    }
+    println!("{counts:#?}  total {}", out.truth.failures.len());
+}

@@ -1,0 +1,60 @@
+//! Cluster post-mortem: root-cause breakdown of a month of failures on an
+//! S2-flavoured (Torque, Gemini) machine — the Fig. 16 analysis — plus the
+//! stack-trace module table (Table IV).
+//!
+//! ```text
+//! cargo run --release --example cluster_postmortem
+//! ```
+
+use hpc_node_failures::diagnosis::root_cause::{CauseBreakdown, Fig16Bucket};
+use hpc_node_failures::diagnosis::stack_trace::{module_table, origin_first_frames};
+use hpc_node_failures::diagnosis::{Diagnosis, DiagnosisConfig};
+use hpc_node_failures::faultsim::Scenario;
+use hpc_node_failures::logs::event::{ConsoleDetail, Payload};
+use hpc_node_failures::platform::SystemId;
+
+fn main() {
+    let out = Scenario::new(SystemId::S2, 2, 56, 7).run();
+    let d = Diagnosis::from_archive(&out.archive, DiagnosisConfig::default());
+
+    println!("=== failure breakdown, S2 flavour (cf. Fig. 16) ===");
+    let b = CauseBreakdown::compute(&d);
+    println!("failures classified: {}", b.total);
+    for bucket in Fig16Bucket::ALL {
+        println!("  {:<9} {:5.1}%", bucket.name(), b.bucket_percent(bucket));
+    }
+
+    println!("\n=== stack-trace module table (cf. Table IV) ===");
+    for row in module_table(&d) {
+        let top_cause = row
+            .causes
+            .iter()
+            .max_by_key(|(_, n)| **n)
+            .map(|(c, _)| c.name())
+            .unwrap_or("-");
+        println!(
+            "  {:<22} {:>4} occurrences, mostly under {}",
+            row.module.symbol(),
+            row.occurrences,
+            top_cause
+        );
+    }
+
+    // Trace-origin census over all oopses in the window.
+    println!("\n=== kernel-oops trace origins (first-frames heuristic) ===");
+    let mut counts = std::collections::BTreeMap::new();
+    for e in &d.events {
+        if let Payload::Console {
+            detail: ConsoleDetail::KernelOops { modules, .. },
+            ..
+        } = &e.payload
+        {
+            *counts
+                .entry(origin_first_frames(modules).name())
+                .or_insert(0usize) += 1;
+        }
+    }
+    for (origin, n) in counts {
+        println!("  {origin:<12} {n}");
+    }
+}

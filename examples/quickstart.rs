@@ -1,0 +1,47 @@
+//! Quickstart: simulate a small production window, diagnose it from the
+//! text logs, and print the summary report.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use hpc_node_failures::diagnosis::jobs::JobLog;
+use hpc_node_failures::diagnosis::{report, Diagnosis, DiagnosisConfig};
+use hpc_node_failures::faultsim::Scenario;
+use hpc_node_failures::platform::SystemId;
+
+fn main() {
+    // One week of a 2-cabinet (384-node) S1-flavoured Cray machine.
+    let scenario = Scenario::new(SystemId::S1, 2, 7, 42);
+    println!(
+        "simulating {} ({} nodes, {} blades) for {} ...",
+        scenario.system,
+        scenario.topology.node_count(),
+        scenario.topology.blade_count(),
+        scenario.horizon
+    );
+    let out = scenario.run();
+    println!(
+        "rendered {} log lines ({:.1} MiB) across console/controller/erd/scheduler",
+        out.archive.total_lines(),
+        out.archive.total_bytes() as f64 / (1024.0 * 1024.0)
+    );
+
+    // The pipeline sees only the text archive.
+    let d = Diagnosis::from_archive(&out.archive, DiagnosisConfig::default());
+    let jobs = JobLog::from_diagnosis(&d);
+
+    println!("\n=== diagnosis summary ===");
+    print!("{}", report::render_summary(&d, &jobs));
+
+    println!("\n=== case studies ===");
+    let cases = report::case_studies(&d, &jobs);
+    print!("{}", report::render_case_studies(&cases));
+
+    // Sanity against ground truth (available only because we simulated).
+    println!(
+        "\nground truth: {} injected failures; pipeline detected {}",
+        out.truth.failures.len(),
+        d.failures.len()
+    );
+}

@@ -1,0 +1,73 @@
+//! Diagnoses a log directory (as written by `hpc-simulate`, or any real
+//! log tree following the same layout) and prints the full report:
+//! summary, root-cause breakdown, lead-time analysis, case studies and
+//! operator advisories.
+//!
+//! ```text
+//! hpc-diagnose <log-dir>
+//! cargo run --release --bin hpc-diagnose -- /tmp/logs
+//! ```
+
+use std::path::Path;
+use std::process::exit;
+
+use hpc_node_failures::diagnosis::advisor::{advise, render_advisories};
+use hpc_node_failures::diagnosis::jobs::JobLog;
+use hpc_node_failures::diagnosis::lead_time::{lead_times, summarize};
+use hpc_node_failures::diagnosis::report;
+use hpc_node_failures::diagnosis::root_cause::{CauseBreakdown, Fig16Bucket};
+use hpc_node_failures::diagnosis::{Diagnosis, DiagnosisConfig};
+use hpc_node_failures::logs::fs::load_archive;
+
+fn main() {
+    let Some(dir) = std::env::args().nth(1) else {
+        eprintln!("usage: hpc-diagnose <log-dir>");
+        exit(2);
+    };
+    let archive = match load_archive(Path::new(&dir)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("cannot load {dir}: {e}");
+            exit(1);
+        }
+    };
+    if archive.total_lines() == 0 {
+        eprintln!("no log lines found under {dir}");
+        exit(1);
+    }
+    eprintln!(
+        "loaded {} lines; parsing with {} threads ...",
+        archive.total_lines(),
+        4
+    );
+    let d = Diagnosis::from_archive(&archive, DiagnosisConfig::default());
+    let jobs = JobLog::from_diagnosis(&d);
+
+    println!("=== summary ===");
+    print!("{}", report::render_summary(&d, &jobs));
+
+    println!("\n=== root-cause breakdown ===");
+    let b = CauseBreakdown::compute(&d);
+    for bucket in Fig16Bucket::ALL {
+        println!("  {:<9} {:5.1}%", bucket.name(), b.bucket_percent(bucket));
+    }
+
+    println!("\n=== lead-time analysis ===");
+    let s = summarize(&lead_times(&d));
+    println!(
+        "  internal lead {:.1} min | external lead {:.1} min | factor {:.1}x | enhanceable {:.1}%",
+        s.mean_internal_mins,
+        s.mean_external_mins,
+        s.enhancement_factor(),
+        s.enhanceable_percent()
+    );
+
+    println!("\n=== case studies ===");
+    print!(
+        "{}",
+        report::render_case_studies(&report::case_studies(&d, &jobs))
+    );
+
+    println!("\n=== advisories ===");
+    print!("{}", render_advisories(&advise(&d, &jobs)));
+}

@@ -1,0 +1,62 @@
+//! Generates a synthetic log archive on disk.
+//!
+//! ```text
+//! hpc-simulate <output-dir> [system S1..S5] [cabinets N] [days N] [seed N]
+//! cargo run --release --bin hpc-simulate -- /tmp/logs S1 2 7 42
+//! ```
+
+use std::path::PathBuf;
+use std::process::exit;
+
+use hpc_node_failures::faultsim::Scenario;
+use hpc_node_failures::logs::fs::save_archive;
+use hpc_node_failures::platform::SystemId;
+
+fn usage() -> ! {
+    eprintln!("usage: hpc-simulate <output-dir> [system S1..S5] [cabinets N] [days N] [seed N]");
+    exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(dir) = args.first() else { usage() };
+    let dir = PathBuf::from(dir);
+    let system = match args.get(1).map(String::as_str).unwrap_or("S1") {
+        "S1" => SystemId::S1,
+        "S2" => SystemId::S2,
+        "S3" => SystemId::S3,
+        "S4" => SystemId::S4,
+        "S5" => SystemId::S5,
+        other => {
+            eprintln!("unknown system {other:?}");
+            usage()
+        }
+    };
+    let parse_num = |i: usize, default: u64| -> u64 {
+        args.get(i)
+            .map(|s| s.parse().unwrap_or_else(|_| usage()))
+            .unwrap_or(default)
+    };
+    let cabinets = parse_num(2, 2) as u32;
+    let days = parse_num(3, 7);
+    let seed = parse_num(4, 42);
+
+    let scenario = Scenario::new(system, cabinets, days, seed);
+    eprintln!(
+        "simulating {system} ({} nodes) for {} days, seed {seed} ...",
+        scenario.topology.node_count(),
+        days
+    );
+    let out = scenario.run();
+    if let Err(e) = save_archive(&out.archive, &dir) {
+        eprintln!("failed to write archive: {e}");
+        exit(1);
+    }
+    eprintln!(
+        "wrote {} lines ({:.1} MiB) to {} — {} injected failures",
+        out.archive.total_lines(),
+        out.archive.total_bytes() as f64 / (1024.0 * 1024.0),
+        dir.display(),
+        out.truth.failures.len()
+    );
+}

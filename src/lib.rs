@@ -1,0 +1,34 @@
+//! # hpc-node-failures
+//!
+//! Reproduction of *"Systemic Assessment of Node Failures in HPC Production
+//! Platforms"* (Das, Mueller, Rountree — IPDPS 2021) as a Rust workspace.
+//!
+//! This facade crate re-exports the whole stack:
+//!
+//! * [`platform`] — Cray-like topology, system profiles S1–S5, sensors.
+//! * [`logs`] — structured events ↔ text log lines, archives.
+//! * [`sched`] — workload generation, allocation, NHC.
+//! * [`faultsim`] — fault-injection scenarios producing text log archives
+//!   plus ground truth.
+//! * [`diagnosis`] — the paper's measurement pipeline over text logs.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hpc_node_failures::faultsim::Scenario;
+//! use hpc_node_failures::diagnosis::{Diagnosis, DiagnosisConfig};
+//! use hpc_node_failures::platform::SystemId;
+//!
+//! // Simulate one week of a 2-cabinet S1-flavoured machine.
+//! let out = Scenario::new(SystemId::S1, 2, 7, 42).run();
+//! // Diagnose from the rendered text logs only.
+//! let d = Diagnosis::from_archive(&out.archive, DiagnosisConfig::default());
+//! assert!(!d.failures.is_empty());
+//! ```
+
+pub use hpc_diagnosis as diagnosis;
+pub use hpc_faultsim as faultsim;
+pub use hpc_logs as logs;
+pub use hpc_platform as platform;
+pub use hpc_sched as sched;
+pub use hpc_stats as stats;

@@ -1,0 +1,72 @@
+//! End-to-end tests of the CLI binaries: `hpc-simulate` writes a log tree,
+//! `hpc-diagnose` analyses it.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hpc-cli-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn simulate_then_diagnose_round_trips() {
+    let dir = tmpdir("roundtrip");
+    let sim = Command::new(env!("CARGO_BIN_EXE_hpc-simulate"))
+        .args([dir.to_str().unwrap(), "S1", "1", "2", "99"])
+        .output()
+        .expect("run hpc-simulate");
+    assert!(sim.status.success(), "simulate failed: {sim:?}");
+    let stderr = String::from_utf8_lossy(&sim.stderr);
+    assert!(stderr.contains("wrote"), "missing summary: {stderr}");
+
+    let diag = Command::new(env!("CARGO_BIN_EXE_hpc-diagnose"))
+        .arg(dir.to_str().unwrap())
+        .output()
+        .expect("run hpc-diagnose");
+    assert!(diag.status.success(), "diagnose failed: {diag:?}");
+    let stdout = String::from_utf8_lossy(&diag.stdout);
+    for section in [
+        "=== summary ===",
+        "=== root-cause breakdown ===",
+        "=== lead-time analysis ===",
+        "=== case studies ===",
+        "=== advisories ===",
+        "skipped lines: 0",
+    ] {
+        assert!(
+            stdout.contains(section),
+            "missing {section:?} in:\n{stdout}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn diagnose_rejects_missing_directory() {
+    let out = Command::new(env!("CARGO_BIN_EXE_hpc-diagnose"))
+        .arg("/nonexistent/hpc-logs-dir")
+        .output()
+        .expect("run hpc-diagnose");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn simulate_rejects_bad_system() {
+    let dir = tmpdir("badsys");
+    let out = Command::new(env!("CARGO_BIN_EXE_hpc-simulate"))
+        .args([dir.to_str().unwrap(), "S9"])
+        .output()
+        .expect("run hpc-simulate");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn simulate_usage_without_args() {
+    let out = Command::new(env!("CARGO_BIN_EXE_hpc-simulate"))
+        .output()
+        .expect("run hpc-simulate");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}

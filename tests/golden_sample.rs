@@ -1,0 +1,56 @@
+//! Golden-sample regression test.
+//!
+//! `testdata/sample-logs/` is a checked-in one-day log tree (the analogue
+//! of the paper's published Zenodo sample logs), generated once with
+//! `Scenario::new(S1, 1, 1, 20160101)` with 6 jobs/hour. This test pins the
+//! text formats and the pipeline's findings on them: if a renderer, parser
+//! or detection change alters what these files mean, it fails loudly here.
+
+use std::path::Path;
+
+use hpc_node_failures::diagnosis::jobs::JobLog;
+use hpc_node_failures::diagnosis::root_cause::classify_all;
+use hpc_node_failures::diagnosis::{Diagnosis, DiagnosisConfig};
+use hpc_node_failures::logs::event::LogSource;
+use hpc_node_failures::logs::fs::load_archive;
+
+fn sample_dir() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/testdata/sample-logs"))
+}
+
+#[test]
+fn golden_sample_loads_and_parses_cleanly() {
+    let archive = load_archive(sample_dir()).expect("sample logs present");
+    assert_eq!(archive.total_lines(), 784, "sample line count drifted");
+    for source in LogSource::ALL {
+        assert!(
+            archive.stats(source).lines > 0,
+            "{source:?} stream empty in sample"
+        );
+    }
+    let d = Diagnosis::from_archive(&archive, DiagnosisConfig::default());
+    assert_eq!(d.skipped_lines, 0, "sample lines no longer parse");
+}
+
+#[test]
+fn golden_sample_findings_are_stable() {
+    let archive = load_archive(sample_dir()).unwrap();
+    let d = Diagnosis::from_archive(&archive, DiagnosisConfig::default());
+    // The one-day sample was generated with 7 injected failures.
+    assert_eq!(d.failures.len(), 7, "detected failure count drifted");
+    assert!(d.swos.is_empty());
+
+    // Classification is deterministic on fixed text.
+    let causes: Vec<&str> = classify_all(&d)
+        .into_iter()
+        .map(|(_, c)| c.name())
+        .collect();
+    assert_eq!(causes.len(), 7);
+    // At least two distinct cause families appear in the sample day.
+    let distinct: std::collections::BTreeSet<_> = causes.iter().collect();
+    assert!(distinct.len() >= 2, "causes: {causes:?}");
+
+    // Job log reconstructs.
+    let jobs = JobLog::from_diagnosis(&d);
+    assert!(jobs.len() > 50, "only {} jobs in sample", jobs.len());
+}
