@@ -8,7 +8,9 @@
 //! ```
 //!
 //! With `--out DIR`, each experiment's output is additionally written to
-//! `DIR/<id>.txt`.
+//! `DIR/<id>.txt`, and the telemetry registry accumulated across the runs
+//! (per-stage wall times, ingest counts) to `DIR/telemetry.json` — the
+//! machine-readable perf record that accompanies the figures.
 
 use std::path::PathBuf;
 
@@ -42,6 +44,17 @@ fn main() {
         }
     };
 
+    let write_telemetry = || {
+        if let Some(dir) = &out_dir {
+            let path = dir.join("telemetry.json");
+            if let Err(e) = std::fs::write(&path, hpc_telemetry::snapshot().to_json()) {
+                eprintln!("cannot write telemetry.json: {e}");
+            } else {
+                eprintln!("telemetry JSON written to {}", path.display());
+            }
+        }
+    };
+
     if args.is_empty() || args[0] == "list" {
         eprintln!("usage: experiments <id>|all|list [--out DIR]\n\navailable experiments:");
         for e in EXPERIMENTS {
@@ -55,6 +68,7 @@ fn main() {
             emit(e.id, &(e.run)());
             println!();
         }
+        write_telemetry();
         return;
     }
     let mut failed = false;
@@ -67,6 +81,7 @@ fn main() {
             }
         }
     }
+    write_telemetry();
     if failed {
         std::process::exit(2);
     }

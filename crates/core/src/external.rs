@@ -58,6 +58,7 @@ fn fault_correspondence(
     d: &Diagnosis,
     mut matches: impl FnMut(&LogEvent) -> Option<NodeId>,
 ) -> FaultCorrespondence {
+    let _span = hpc_telemetry::span!("core.external.correspondence");
     let mut out = FaultCorrespondence::default();
     for e in &d.events {
         if let Some(node) = matches(e) {

@@ -93,6 +93,7 @@ impl LeadTimeRecord {
 
 /// Computes lead times for every detected failure.
 pub fn lead_times(d: &Diagnosis) -> Vec<LeadTimeRecord> {
+    let _span = hpc_telemetry::span!("core.lead_time.compute");
     d.failures
         .iter()
         .map(|f| {

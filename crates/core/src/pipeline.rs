@@ -83,14 +83,35 @@ pub struct Diagnosis {
 }
 
 impl Diagnosis {
+    /// Threads used by ingest under `config` (one per source stream when
+    /// parallel). Also what the `core.ingest.threads` gauge reports.
+    pub fn ingest_threads(config: &DiagnosisConfig) -> usize {
+        if config.parallel_ingest {
+            LogSource::ALL.len()
+        } else {
+            1
+        }
+    }
+
     /// Runs ingest + detection + indexing over an archive.
     pub fn from_archive(archive: &LogArchive, config: DiagnosisConfig) -> Diagnosis {
-        let (per_source, skipped_lines) = if config.parallel_ingest {
-            parse_sources_parallel(archive)
-        } else {
-            parse_sources_sequential(archive)
+        let _span = hpc_telemetry::span!("core.from_archive");
+        hpc_telemetry::gauge("core.ingest.threads").set(Self::ingest_threads(&config) as f64);
+        let (per_source, skipped_lines) = {
+            let _parse = hpc_telemetry::span!("core.ingest.parse");
+            if config.parallel_ingest {
+                parse_sources_parallel(archive)
+            } else {
+                parse_sources_sequential(archive)
+            }
         };
-        let events = merge_by_time(per_source);
+        hpc_telemetry::counter("ingest.lines").add(archive.total_lines());
+        hpc_telemetry::counter("ingest.skipped_lines").add(skipped_lines);
+        let events = {
+            let _merge = hpc_telemetry::span!("core.ingest.merge");
+            merge_by_time(per_source)
+        };
+        hpc_telemetry::counter("ingest.events").add(events.len() as u64);
         Self::from_events(events, skipped_lines, config)
     }
 
@@ -101,7 +122,11 @@ impl Diagnosis {
         skipped_lines: u64,
         config: DiagnosisConfig,
     ) -> Diagnosis {
-        let all_failures = detect_failures(&events);
+        let all_failures = {
+            let _detect = hpc_telemetry::span!("core.detect");
+            detect_failures(&events)
+        };
+        hpc_telemetry::counter("core.detect.failures").add(all_failures.len() as u64);
         let node_count = config.node_count.unwrap_or_else(|| {
             // Estimate machine size from the highest node id mentioned.
             events
@@ -112,12 +137,16 @@ impl Diagnosis {
                 .unwrap_or(1)
         });
         let (failures, swos, swo_failures) = if config.exclude_swos {
+            let _swo = hpc_telemetry::span!("core.swo.partition");
             let swos = detect_swos(&all_failures, node_count, &config.swo);
             let (regular, swallowed) = partition_failures(&all_failures, &swos);
+            hpc_telemetry::counter("core.swo.windows").add(swos.len() as u64);
+            hpc_telemetry::counter("core.swo.excluded_failures").add(swallowed.len() as u64);
             (regular, swos, swallowed)
         } else {
             (all_failures, Vec::new(), Vec::new())
         };
+        let _index = hpc_telemetry::span!("core.index");
         let mut node_index: HashMap<NodeId, Vec<u32>> = HashMap::new();
         let mut blade_external: HashMap<BladeId, Vec<u32>> = HashMap::new();
         let mut cabinet_external: HashMap<CabinetId, Vec<u32>> = HashMap::new();
@@ -253,12 +282,28 @@ impl Diagnosis {
     }
 }
 
+/// Per-source ingest counters (`ingest.<source>.{lines,events,skipped}`),
+/// recorded once per parsed stream from either ingest path.
+fn record_source_counters(source: LogSource, lines: u64, events: u64, skipped: u64) {
+    let key = source.key();
+    hpc_telemetry::counter(&format!("ingest.{key}.lines")).add(lines);
+    hpc_telemetry::counter(&format!("ingest.{key}.events")).add(events);
+    hpc_telemetry::counter(&format!("ingest.{key}.skipped")).add(skipped);
+}
+
+fn parse_one_source(archive: &LogArchive, source: LogSource) -> (Vec<LogEvent>, u64) {
+    let _span = hpc_telemetry::span!(format!("core.ingest.parse.{}", source.key()));
+    let lines = archive.lines(source);
+    let (events, skipped) = LogParser::parse_stream(source, lines.iter().map(|s| s.as_str()));
+    record_source_counters(source, lines.len() as u64, events.len() as u64, skipped);
+    (events, skipped)
+}
+
 fn parse_sources_sequential(archive: &LogArchive) -> (Vec<Vec<LogEvent>>, u64) {
     let mut per_source = Vec::with_capacity(4);
     let mut skipped = 0;
     for source in LogSource::ALL {
-        let (events, sk) =
-            LogParser::parse_stream(source, archive.lines(source).iter().map(|s| s.as_str()));
+        let (events, sk) = parse_one_source(archive, source);
         skipped += sk;
         per_source.push(events);
     }
@@ -273,14 +318,7 @@ fn parse_sources_parallel(archive: &LogArchive) -> (Vec<Vec<LogEvent>>, u64) {
     crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = LogSource::ALL
             .iter()
-            .map(|&source| {
-                scope.spawn(move |_| {
-                    LogParser::parse_stream(
-                        source,
-                        archive.lines(source).iter().map(|s| s.as_str()),
-                    )
-                })
-            })
+            .map(|&source| scope.spawn(move |_| parse_one_source(archive, source)))
             .collect();
         for h in handles {
             results.push(h.join().expect("parser thread panicked"));

@@ -330,6 +330,7 @@ fn classify_shutdown_inner(window: &[&LogEvent]) -> InferredCause {
 
 /// Classifies every detected failure.
 pub fn classify_all(d: &Diagnosis) -> Vec<(DetectedFailure, InferredCause)> {
+    let _span = hpc_telemetry::span!("core.root_cause.classify_all");
     d.failures.iter().map(|f| (*f, classify(d, f))).collect()
 }
 

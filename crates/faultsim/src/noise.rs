@@ -536,7 +536,13 @@ mod tests {
         for _ in 0..300 {
             for e in sedc_warning_burst(&mut r, BladeId(3), SimTime::EPOCH) {
                 if let Payload::Erd {
-                    detail: ErdDetail::SedcWarning { sensor, reading, deviation, .. },
+                    detail:
+                        ErdDetail::SedcWarning {
+                            sensor,
+                            reading,
+                            deviation,
+                            ..
+                        },
                     ..
                 } = e.payload
                 {

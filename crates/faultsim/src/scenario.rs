@@ -340,7 +340,12 @@ impl Scenario {
 
     /// Runs the scenario to completion.
     pub fn run(&self) -> SimOutput {
-        Runner::new(self).run()
+        let span = hpc_telemetry::span!("faultsim.run");
+        let out = Runner::new(self).run();
+        let wall_us = span.finish();
+        let days = (self.horizon.as_millis() as f64 / MILLIS_PER_DAY as f64).max(1e-9);
+        hpc_telemetry::gauge("faultsim.wall_us_per_sim_day").set(wall_us as f64 / days);
+        out
     }
 }
 
@@ -429,6 +434,44 @@ impl Family {
         Family::OomNoise,
     ];
 
+    /// Stable snake_case identifier used in the per-family event counters
+    /// (`faultsim.events.<key>`).
+    fn key(self) -> &'static str {
+        match self {
+            Family::FatalMce => "fatal_mce",
+            Family::CpuCorruption => "cpu_corruption",
+            Family::MemFailSlow => "mem_fail_slow",
+            Family::Nvf => "nvf",
+            Family::LinkFailure => "link_failure",
+            Family::LustreBug => "lustre_bug",
+            Family::KernelBug => "kernel_bug",
+            Family::DriverFirmware => "driver_firmware",
+            Family::AppOom => "app_oom",
+            Family::AppExit => "app_exit",
+            Family::AppFs => "app_fs",
+            Family::UnknownBios => "unknown_bios",
+            Family::UnknownL0 => "unknown_l0",
+            Family::Operator => "operator",
+            Family::BladeFailure => "blade_failure",
+            Family::Swo => "swo",
+            Family::BenignNhf => "benign_nhf",
+            Family::BenignNvf => "benign_nvf",
+            Family::BenignHwExternal => "benign_hw_external",
+            Family::BenignHw => "benign_hw",
+            Family::LustreNoise => "lustre_noise",
+            Family::SedcBlade => "sedc_blade",
+            Family::CabinetBurst => "cabinet_burst",
+            Family::LinkNoise => "link_noise",
+            Family::BenignBios => "benign_bios",
+            Family::Graceful => "graceful",
+            Family::HungTask => "hung_task",
+            Family::GpuNoise => "gpu_noise",
+            Family::DiskNoise => "disk_noise",
+            Family::SoftwareNoise => "software_noise",
+            Family::OomNoise => "oom_noise",
+        }
+    }
+
     fn is_failure_family(self) -> bool {
         matches!(
             self,
@@ -464,12 +507,19 @@ struct Runner<'a> {
     timeline: JobTimeline,
     /// Per-node time until which the node is ineligible for new failures.
     failed_until: Vec<SimTime>,
+    /// Events emitted per queue-driven family, flushed to the
+    /// `faultsim.events.<family>` counters once at the end of the run (the
+    /// per-event path stays free of registry lookups).
+    family_events: [u64; Family::ALL.len()],
 }
 
 impl<'a> Runner<'a> {
     fn new(sc: &'a Scenario) -> Runner<'a> {
         let mut rng = StdRng::seed_from_u64(sc.seed);
-        let timeline = generate_workload(&sc.topology, &sc.workload, sc.horizon, &mut rng);
+        let timeline = {
+            let _span = hpc_telemetry::span!("faultsim.workload");
+            generate_workload(&sc.topology, &sc.workload, sc.horizon, &mut rng)
+        };
         Runner {
             sc,
             rng,
@@ -477,23 +527,40 @@ impl<'a> Runner<'a> {
             truth: GroundTruth::default(),
             timeline,
             failed_until: vec![SimTime::EPOCH; sc.topology.node_count() as usize],
+            family_events: [0; Family::ALL.len()],
         }
     }
 
     fn run(mut self) -> SimOutput {
-        self.inject_families();
-        self.inject_overalloc_ooms();
-        self.inject_chatty_blades();
-        self.inject_telemetry();
-        self.amend_jobs();
-        self.events.extend(scheduler_events(&self.timeline));
-        self.events.sort_by_key(|e| e.time);
-        self.truth.failures.sort_by_key(|f| (f.time, f.node));
+        {
+            let _inject = hpc_telemetry::span!("faultsim.inject");
+            self.inject_families();
+            self.inject_overalloc_ooms();
+            self.inject_chatty_blades();
+            self.inject_telemetry();
+        }
+        {
+            let _finalize = hpc_telemetry::span!("faultsim.finalize");
+            self.amend_jobs();
+            self.events.extend(scheduler_events(&self.timeline));
+            self.events.sort_by_key(|e| e.time);
+            self.truth.failures.sort_by_key(|f| (f.time, f.node));
+        }
 
         let mut archive = LogArchive::new(self.sc.system.profile().scheduler);
-        for e in &self.events {
-            archive.append_event(e);
+        {
+            let _render = hpc_telemetry::span!("faultsim.render");
+            for e in &self.events {
+                archive.append_event(e);
+            }
         }
+        for (family, count) in Family::ALL.iter().zip(self.family_events) {
+            if count > 0 {
+                hpc_telemetry::counter(&format!("faultsim.events.{}", family.key())).add(count);
+            }
+        }
+        hpc_telemetry::counter("faultsim.failures_injected").add(self.truth.failures.len() as u64);
+        hpc_telemetry::counter("faultsim.rendered_lines").add(archive.total_lines());
         SimOutput {
             archive,
             truth: self.truth,
@@ -673,6 +740,12 @@ impl<'a> Runner<'a> {
     }
 
     fn handle(&mut self, family: Family, t: SimTime) {
+        let before = self.events.len();
+        self.dispatch(family, t);
+        self.family_events[family as usize] += (self.events.len() - before) as u64;
+    }
+
+    fn dispatch(&mut self, family: Family, t: SimTime) {
         let timing = self.sc.config.timing;
         match family {
             Family::FatalMce => self.hw_cluster(t, incidents::fatal_mce_chain),

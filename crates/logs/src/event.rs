@@ -846,6 +846,17 @@ impl LogSource {
             LogSource::Scheduler => "slurmctld.log",
         }
     }
+
+    /// Short stable identifier used in metric names
+    /// (`ingest.<key>.lines`, `core.ingest.parse.<key>`).
+    pub fn key(self) -> &'static str {
+        match self {
+            LogSource::Console => "console",
+            LogSource::Controller => "controller",
+            LogSource::Erd => "erd",
+            LogSource::Scheduler => "scheduler",
+        }
+    }
 }
 
 /// Severity of an event, mirroring syslog levels used in reports.

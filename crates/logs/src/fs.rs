@@ -38,6 +38,7 @@ pub fn source_path(source: LogSource, scheduler: SchedulerKind) -> PathBuf {
 /// Writes the archive under `root`, creating directories as needed.
 /// Existing files are overwritten.
 pub fn save_archive(archive: &LogArchive, root: &Path) -> io::Result<()> {
+    let _span = hpc_telemetry::span!("logs.save_archive");
     for source in LogSource::ALL {
         let path = root.join(source_path(source, archive.scheduler()));
         if let Some(parent) = path.parent() {
@@ -49,6 +50,9 @@ pub fn save_archive(archive: &LogArchive, root: &Path) -> io::Result<()> {
             w.write_all(b"\n")?;
         }
         w.flush()?;
+        let stats = archive.stats(source);
+        hpc_telemetry::counter("logs.write.lines").add(stats.lines);
+        hpc_telemetry::counter("logs.write.bytes").add(stats.bytes);
     }
     Ok(())
 }
@@ -57,6 +61,7 @@ pub fn save_archive(archive: &LogArchive, root: &Path) -> io::Result<()> {
 /// paper's "absence of certain environmental logs"); the scheduler flavour
 /// is detected from which scheduler file exists (defaulting to Slurm).
 pub fn load_archive(root: &Path) -> io::Result<LogArchive> {
+    let _span = hpc_telemetry::span!("logs.load_archive");
     let scheduler = if root.join("scheduler/pbs_server.log").exists() {
         SchedulerKind::Torque
     } else {

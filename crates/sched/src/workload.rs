@@ -144,6 +144,7 @@ pub fn generate_workload<R: Rng + ?Sized>(
     horizon: SimDuration,
     rng: &mut R,
 ) -> JobTimeline {
+    let _span = hpc_telemetry::span!("sched.workload.generate");
     let mut alloc = Allocator::new(topology, config.node_mem_mib);
     let mut jobs = Vec::new();
     let mut next_id: u64 = 1;
@@ -188,6 +189,7 @@ pub fn generate_workload<R: Rng + ?Sized>(
         }
         t_ms += exp_sample(rng, mean_gap_ms) / factor;
     }
+    hpc_telemetry::counter("sched.jobs_generated").add(jobs.len() as u64);
     JobTimeline::from_jobs(jobs)
 }
 

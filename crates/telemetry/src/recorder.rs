@@ -1,0 +1,170 @@
+//! Sinks that turn a registry [`Snapshot`] into output for humans or
+//! machines.
+//!
+//! Two built-ins cover the CLI needs: [`TextRecorder`] renders the
+//! per-stage summary table the binaries print on stderr, and
+//! [`JsonRecorder`] writes the machine-readable report consumed by CI
+//! and by `crates/bench` perf-trajectory diffs.
+
+use std::io::{self, Write};
+
+use crate::registry::Snapshot;
+use crate::span::fmt_us;
+
+/// A destination for telemetry snapshots.
+pub trait Recorder {
+    /// Writes one snapshot.
+    fn record(&mut self, snapshot: &Snapshot) -> io::Result<()>;
+}
+
+/// Human-readable sink: stage table plus counters and gauges.
+pub struct TextRecorder<W: Write> {
+    writer: W,
+}
+
+impl<W: Write> TextRecorder<W> {
+    /// Text recorder writing to `writer`.
+    pub fn new(writer: W) -> TextRecorder<W> {
+        TextRecorder { writer }
+    }
+}
+
+impl<W: Write> Recorder for TextRecorder<W> {
+    fn record(&mut self, snapshot: &Snapshot) -> io::Result<()> {
+        self.writer.write_all(render_text(snapshot).as_bytes())
+    }
+}
+
+/// Machine-readable sink: serialises the full registry as JSON.
+pub struct JsonRecorder<W: Write> {
+    writer: W,
+}
+
+impl<W: Write> JsonRecorder<W> {
+    /// JSON recorder writing to `writer`.
+    pub fn new(writer: W) -> JsonRecorder<W> {
+        JsonRecorder { writer }
+    }
+}
+
+impl<W: Write> Recorder for JsonRecorder<W> {
+    fn record(&mut self, snapshot: &Snapshot) -> io::Result<()> {
+        self.writer.write_all(snapshot.to_json().as_bytes())
+    }
+}
+
+/// One line per instrumented stage (each `<stage>.time_us` histogram):
+/// call count, total and mean wall time. Stages are listed in name order,
+/// which groups them by crate prefix.
+pub fn summary_table(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    let stages: Vec<(&str, &crate::metrics::HistogramSnapshot)> = snapshot
+        .histograms
+        .iter()
+        .filter_map(|(name, h)| Some((name.strip_suffix(".time_us")?, h)))
+        .collect();
+    if stages.is_empty() {
+        return out;
+    }
+    let width = stages
+        .iter()
+        .map(|(n, _)| n.len())
+        .max()
+        .unwrap_or(0)
+        .max(5);
+    out.push_str(&format!(
+        "{:<width$} {:>7} {:>10} {:>10}\n",
+        "stage", "calls", "total", "mean"
+    ));
+    for (name, h) in stages {
+        out.push_str(&format!(
+            "{:<width$} {:>7} {:>10} {:>10}\n",
+            name,
+            h.count,
+            fmt_us(h.sum),
+            fmt_us(h.mean() as u64),
+        ));
+    }
+    out
+}
+
+/// Full human-readable report: stage table, then counters, then gauges.
+pub fn render_text(snapshot: &Snapshot) -> String {
+    let mut out = summary_table(snapshot);
+    let counters: Vec<(&String, &u64)> = snapshot
+        .counters
+        .iter()
+        .filter(|(name, _)| !name.ends_with(".calls"))
+        .collect();
+    if !counters.is_empty() {
+        out.push('\n');
+        for (name, value) in counters {
+            out.push_str(&format!("{name} = {value}\n"));
+        }
+    }
+    if !snapshot.gauges.is_empty() {
+        out.push('\n');
+        for (name, value) in &snapshot.gauges {
+            out.push_str(&format!("{name} = {value}\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::HistogramSnapshot;
+
+    fn sample() -> Snapshot {
+        let mut s = Snapshot::default();
+        s.counters.insert("ingest.lines".into(), 120);
+        s.counters.insert("core.detect.calls".into(), 1);
+        s.gauges.insert("core.ingest.threads".into(), 4.0);
+        s.histograms.insert(
+            "core.detect.time_us".into(),
+            HistogramSnapshot {
+                count: 2,
+                sum: 3000,
+                min: 1000,
+                max: 2000,
+                buckets: vec![],
+            },
+        );
+        s
+    }
+
+    #[test]
+    fn table_lists_stages_with_mean() {
+        let t = summary_table(&sample());
+        assert!(t.contains("core.detect"), "{t}");
+        assert!(t.contains("3.0ms"), "{t}");
+        assert!(t.contains("1.5ms"), "{t}");
+        assert!(!t.contains("time_us"), "suffix stripped: {t}");
+    }
+
+    #[test]
+    fn text_report_hides_span_call_counters() {
+        let t = render_text(&sample());
+        assert!(t.contains("ingest.lines = 120"), "{t}");
+        assert!(!t.contains("core.detect.calls"), "{t}");
+        assert!(t.contains("core.ingest.threads = 4"), "{t}");
+    }
+
+    #[test]
+    fn recorders_write_through() {
+        let snap = sample();
+        let mut text = Vec::new();
+        TextRecorder::new(&mut text).record(&snap).unwrap();
+        assert!(!text.is_empty());
+        let mut json = Vec::new();
+        JsonRecorder::new(&mut json).record(&snap).unwrap();
+        let parsed = Snapshot::from_json(std::str::from_utf8(&json).unwrap()).unwrap();
+        assert_eq!(parsed.counter("ingest.lines"), Some(120));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty() {
+        assert_eq!(summary_table(&Snapshot::default()), "");
+    }
+}

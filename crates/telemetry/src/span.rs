@@ -1,0 +1,192 @@
+//! RAII stage timers with nested tracing.
+//!
+//! A [`Span`] measures the wall time of one pipeline stage. On drop it
+//! records the elapsed microseconds into the global histogram
+//! `<stage>.time_us` and bumps the counter `<stage>.calls`, so every
+//! instrumented stage automatically shows up in snapshots with call
+//! count, total/mean time and a latency distribution.
+//!
+//! With tracing enabled (`HPC_TRACE=1` in the environment, `--verbose`
+//! on the CLIs, or [`set_trace`]), spans additionally emit an
+//! enter/exit trace, indented by nesting depth (tracked per thread):
+//!
+//! ```text
+//! [trace] > core.from_archive
+//! [trace]   > core.ingest.parse
+//! [trace]     > core.ingest.parse.console
+//! [trace]     < core.ingest.parse.console 41.2ms
+//! [trace]   < core.ingest.parse 55.0ms
+//! [trace] < core.from_archive 80.1ms
+//! ```
+
+use std::cell::Cell;
+use std::io::Write;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::registry;
+
+thread_local! {
+    static DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+// 0 = follow HPC_TRACE env (resolved lazily), 1 = forced off, 2 = forced on.
+static TRACE_MODE: AtomicU8 = AtomicU8::new(0);
+
+static TRACE_SINK: Mutex<Option<Box<dyn Write + Send>>> = Mutex::new(None);
+
+/// Whether span tracing is currently enabled.
+pub fn trace_enabled() -> bool {
+    match TRACE_MODE.load(Ordering::Relaxed) {
+        1 => false,
+        2 => true,
+        _ => std::env::var("HPC_TRACE").is_ok_and(|v| !v.is_empty() && v != "0"),
+    }
+}
+
+/// Forces tracing on or off, overriding `HPC_TRACE`.
+pub fn set_trace(enabled: bool) {
+    TRACE_MODE.store(if enabled { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+/// Redirects trace output (default: stderr). Pass `None` to restore
+/// stderr. Used by tests to capture the trace.
+pub fn set_trace_writer(writer: Option<Box<dyn Write + Send>>) {
+    *TRACE_SINK.lock().unwrap() = writer;
+}
+
+fn trace_line(depth: usize, line: &str) {
+    let mut sink = TRACE_SINK.lock().unwrap();
+    let text = format!("[trace] {:indent$}{line}\n", "", indent = depth * 2);
+    match sink.as_mut() {
+        Some(w) => {
+            let _ = w.write_all(text.as_bytes());
+        }
+        None => eprint!("{text}"),
+    }
+}
+
+/// Renders microseconds human-readably (`412us`, `41.2ms`, `3.1s`).
+pub fn fmt_us(us: u64) -> String {
+    if us < 1_000 {
+        format!("{us}us")
+    } else if us < 1_000_000 {
+        format!("{:.1}ms", us as f64 / 1_000.0)
+    } else {
+        format!("{:.1}s", us as f64 / 1_000_000.0)
+    }
+}
+
+/// An in-flight stage timer; see the module docs.
+///
+/// Created via [`Span::enter`] or the [`span!`](crate::span!) macro and
+/// finished by `Drop` (or explicitly by [`Span::finish`] to get the
+/// elapsed time).
+#[derive(Debug)]
+pub struct Span {
+    name: String,
+    start: Instant,
+    depth: usize,
+}
+
+impl Span {
+    /// Starts timing `name`, nesting under any span already open on this
+    /// thread.
+    pub fn enter(name: impl Into<String>) -> Span {
+        let name = name.into();
+        let depth = DEPTH.with(|d| {
+            let depth = d.get();
+            d.set(depth + 1);
+            depth
+        });
+        if trace_enabled() {
+            trace_line(depth, &format!("> {name}"));
+        }
+        Span {
+            name,
+            start: Instant::now(),
+            depth,
+        }
+    }
+
+    /// Nesting depth of this span on its thread (0 = outermost).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Ends the span now and returns the elapsed microseconds.
+    pub fn finish(self) -> u64 {
+        let us = self.start.elapsed().as_micros() as u64;
+        drop(self);
+        us
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let us = self.start.elapsed().as_micros() as u64;
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        registry::histogram(&format!("{}.time_us", self.name)).record(us);
+        registry::counter(&format!("{}.calls", self.name)).inc();
+        if trace_enabled() {
+            trace_line(self.depth, &format!("< {} {}", self.name, fmt_us(us)));
+        }
+    }
+}
+
+/// Opens a [`Span`] for the named stage; the span ends when the returned
+/// guard goes out of scope.
+///
+/// ```
+/// # fn merge() {}
+/// let _span = hpc_telemetry::span!("core.ingest.merge");
+/// merge();
+/// // dropping records core.ingest.merge.time_us / .calls
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span::Span::enter($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_us_scales() {
+        assert_eq!(fmt_us(7), "7us");
+        assert_eq!(fmt_us(1_500), "1.5ms");
+        assert_eq!(fmt_us(2_500_000), "2.5s");
+    }
+
+    #[test]
+    fn span_records_histogram_and_calls() {
+        {
+            let _s = Span::enter("test.span.records");
+        }
+        let snap = registry::snapshot();
+        assert_eq!(snap.counter("test.span.records.calls"), Some(1));
+        assert_eq!(
+            snap.histogram("test.span.records.time_us").unwrap().count,
+            1
+        );
+    }
+
+    #[test]
+    fn depth_nests_per_thread() {
+        let a = Span::enter("test.depth.a");
+        assert_eq!(a.depth(), 0);
+        let b = Span::enter("test.depth.b");
+        assert_eq!(b.depth(), 1);
+        drop(b);
+        let c = Span::enter("test.depth.c");
+        assert_eq!(c.depth(), 1);
+        drop(c);
+        drop(a);
+        let d = Span::enter("test.depth.d");
+        assert_eq!(d.depth(), 0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Thread-safety of the global registry: concurrent increments from many
+//! threads land exactly, and mixed metric kinds can be updated in
+//! parallel without tearing.
+
+use std::sync::Arc;
+
+#[test]
+fn concurrent_counter_increments_are_exact() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 50_000;
+    let counter = hpc_telemetry::counter("test.concurrent.hits");
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let c = Arc::clone(&counter);
+            std::thread::spawn(move || {
+                for _ in 0..PER_THREAD {
+                    c.inc();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(counter.get(), THREADS as u64 * PER_THREAD);
+    assert_eq!(
+        hpc_telemetry::snapshot().counter("test.concurrent.hits"),
+        Some(THREADS as u64 * PER_THREAD)
+    );
+}
+
+#[test]
+fn concurrent_lookup_by_name_shares_one_counter() {
+    const THREADS: usize = 8;
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            std::thread::spawn(|| {
+                for _ in 0..1000 {
+                    hpc_telemetry::counter("test.concurrent.shared").inc();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(
+        hpc_telemetry::snapshot().counter("test.concurrent.shared"),
+        Some(8 * 1000)
+    );
+}
+
+#[test]
+fn concurrent_histogram_records_count_every_sample() {
+    const THREADS: u64 = 4;
+    const PER_THREAD: u64 = 10_000;
+    let hist = hpc_telemetry::histogram("test.concurrent.latency_us");
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let h = Arc::clone(&hist);
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    h.record(t * PER_THREAD + i);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let snap = hist.snapshot();
+    assert_eq!(snap.count, THREADS * PER_THREAD);
+    assert_eq!(
+        snap.buckets.iter().map(|b| b.count).sum::<u64>(),
+        THREADS * PER_THREAD
+    );
+    assert_eq!(snap.min, 0);
+    assert_eq!(snap.max, THREADS * PER_THREAD - 1);
+    // Sum of 0..N-1.
+    let n = THREADS * PER_THREAD;
+    assert_eq!(snap.sum, n * (n - 1) / 2);
+}
+
+#[test]
+fn spans_on_parallel_threads_do_not_interfere() {
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(|| {
+                for _ in 0..100 {
+                    let outer = hpc_telemetry::span::Span::enter("test.concurrent.outer");
+                    assert_eq!(outer.depth(), 0, "depth is per-thread");
+                    let inner = hpc_telemetry::span::Span::enter("test.concurrent.inner");
+                    assert_eq!(inner.depth(), 1);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let snap = hpc_telemetry::snapshot();
+    assert_eq!(snap.counter("test.concurrent.outer.calls"), Some(400));
+    assert_eq!(
+        snap.histogram("test.concurrent.inner.time_us")
+            .unwrap()
+            .count,
+        400
+    );
+}

@@ -1,0 +1,74 @@
+//! Property tests for histogram bucket boundaries and the JSON codec.
+
+use proptest::prelude::*;
+
+use hpc_telemetry::metrics::{bucket_bounds, bucket_index, Histogram, BUCKETS};
+use hpc_telemetry::{Registry, Snapshot};
+
+proptest! {
+    /// Every value lands in the bucket whose [lo, hi] range contains it.
+    #[test]
+    fn value_lands_inside_its_bucket(v in any::<u64>()) {
+        let i = bucket_index(v);
+        prop_assert!(i < BUCKETS);
+        let (lo, hi) = bucket_bounds(i);
+        prop_assert!(lo <= v && v <= hi, "{v} outside bucket {i} [{lo}, {hi}]");
+    }
+
+    /// Bucket boundaries are exact: lo-1 and hi+1 fall in the adjacent
+    /// buckets.
+    #[test]
+    fn boundaries_are_exclusive(i in 1usize..BUCKETS) {
+        let (lo, hi) = bucket_bounds(i);
+        prop_assert_eq!(bucket_index(lo), i);
+        prop_assert_eq!(bucket_index(hi), i);
+        prop_assert_eq!(bucket_index(lo - 1), i - 1);
+        if hi < u64::MAX {
+            prop_assert_eq!(bucket_index(hi + 1), i + 1);
+        }
+    }
+
+    /// Aggregates are exact regardless of the sample mix, and the bucket
+    /// counts always sum to the sample count.
+    #[test]
+    fn aggregates_match_samples(samples in prop::collection::vec(0u64..1_000_000_000, 1..200)) {
+        let h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, samples.len() as u64);
+        prop_assert_eq!(snap.sum, samples.iter().sum::<u64>());
+        prop_assert_eq!(snap.min, *samples.iter().min().unwrap());
+        prop_assert_eq!(snap.max, *samples.iter().max().unwrap());
+        prop_assert_eq!(
+            snap.buckets.iter().map(|b| b.count).sum::<u64>(),
+            samples.len() as u64
+        );
+        // Buckets ascend and never overlap.
+        for w in snap.buckets.windows(2) {
+            prop_assert!(w[0].hi < w[1].lo);
+        }
+    }
+
+    /// Arbitrary registries survive the JSON round trip bit-exactly
+    /// (values stay inside the f64 exact-integer range).
+    #[test]
+    fn json_round_trip_arbitrary_registry(
+        counters in prop::collection::btree_map("[a-z][a-z0-9._]{0,30}", 0u64..(1 << 53), 0..8),
+        samples in prop::collection::vec(0u64..(1 << 40), 0..50),
+    ) {
+        let r = Registry::new();
+        for (name, v) in &counters {
+            // "c." prefix keeps generated names off the histogram's name.
+            r.counter(&format!("c.{name}")).add(*v);
+        }
+        let h = r.histogram("prop.hist.time_us");
+        for &s in &samples {
+            h.record(s);
+        }
+        let snap = r.snapshot();
+        let back = Snapshot::from_json(&snap.to_json()).unwrap();
+        prop_assert_eq!(back, snap);
+    }
+}

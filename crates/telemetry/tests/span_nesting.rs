@@ -1,0 +1,91 @@
+//! Span nesting: trace output preserves enter/exit order and indentation.
+//!
+//! The trace writer is global, so this file keeps everything in a single
+//! test (integration-test files run their tests concurrently).
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn trace_reports_nested_spans_in_order() {
+    let buf = SharedBuf::default();
+    hpc_telemetry::set_trace_writer(Some(Box::new(buf.clone())));
+    hpc_telemetry::set_trace(true);
+    {
+        let _parse = hpc_telemetry::span!("nest.parse");
+        {
+            let _console = hpc_telemetry::span!("nest.parse.console");
+        }
+        {
+            let _erd = hpc_telemetry::span!("nest.parse.erd");
+        }
+    }
+    {
+        let _merge = hpc_telemetry::span!("nest.merge");
+    }
+    hpc_telemetry::set_trace(false);
+    hpc_telemetry::set_trace_writer(None);
+
+    let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+    let events: Vec<&str> = text
+        .lines()
+        .map(|l| l.trim_start_matches("[trace]").trim_start())
+        .collect();
+    // Exit lines end with a duration, so compare prefixes.
+    let expected = [
+        "> nest.parse",
+        "> nest.parse.console",
+        "< nest.parse.console ",
+        "> nest.parse.erd",
+        "< nest.parse.erd ",
+        "< nest.parse ",
+        "> nest.merge",
+        "< nest.merge ",
+    ];
+    assert_eq!(events.len(), expected.len(), "full trace:\n{text}");
+    for (got, want) in events.iter().zip(expected) {
+        assert!(got.starts_with(want), "expected {want:?}, got {got:?}");
+    }
+
+    // Children are indented two spaces deeper than their parent.
+    let lines: Vec<&str> = text.lines().collect();
+    let indent = |l: &str| {
+        let rest = l.strip_prefix("[trace]").unwrap();
+        rest.len() - rest.trim_start().len()
+    };
+    assert_eq!(indent(lines[1]) - indent(lines[0]), 2, "{text}");
+    assert_eq!(indent(lines[0]), indent(lines[5]), "{text}");
+
+    // Both nesting levels recorded their histograms.
+    let snap = hpc_telemetry::snapshot();
+    for stage in [
+        "nest.parse",
+        "nest.parse.console",
+        "nest.parse.erd",
+        "nest.merge",
+    ] {
+        let h = snap.histogram(&format!("{stage}.time_us")).unwrap();
+        assert_eq!(h.count, 1, "{stage}");
+    }
+    // A parent's time covers its children.
+    let parent = snap.histogram("nest.parse.time_us").unwrap().sum;
+    let children = snap.histogram("nest.parse.console.time_us").unwrap().sum
+        + snap.histogram("nest.parse.erd.time_us").unwrap().sum;
+    assert!(
+        parent >= children,
+        "parent {parent}us < children {children}us"
+    );
+}

@@ -4,9 +4,14 @@
 //! operator advisories.
 //!
 //! ```text
-//! hpc-diagnose <log-dir>
+//! hpc-diagnose <log-dir> [--verbose] [--telemetry-json <path>]
 //! cargo run --release --bin hpc-diagnose -- /tmp/logs
 //! ```
+//!
+//! The report goes to stdout; progress, warnings and the per-stage
+//! telemetry table go to stderr. `--verbose` (or `HPC_TRACE=1`) adds a
+//! nested enter/exit trace of every instrumented stage, and
+//! `--telemetry-json` writes the full metric registry as JSON.
 
 use std::path::Path;
 use std::process::exit;
@@ -18,13 +23,32 @@ use hpc_node_failures::diagnosis::report;
 use hpc_node_failures::diagnosis::root_cause::{CauseBreakdown, Fig16Bucket};
 use hpc_node_failures::diagnosis::{Diagnosis, DiagnosisConfig};
 use hpc_node_failures::logs::fs::load_archive;
+use hpc_node_failures::telemetry;
+
+fn usage() -> ! {
+    eprintln!("usage: hpc-diagnose <log-dir> [--verbose] [--telemetry-json <path>]");
+    exit(2)
+}
 
 fn main() {
-    let Some(dir) = std::env::args().nth(1) else {
-        eprintln!("usage: hpc-diagnose <log-dir>");
-        exit(2);
+    let mut telemetry_json: Option<String> = None;
+    let mut positional = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--verbose" => telemetry::set_trace(true),
+            "--telemetry-json" => match args.next() {
+                Some(path) => telemetry_json = Some(path),
+                None => usage(),
+            },
+            _ if arg.starts_with("--") => usage(),
+            _ => positional.push(arg),
+        }
+    }
+    let Some(dir) = positional.first() else {
+        usage()
     };
-    let archive = match load_archive(Path::new(&dir)) {
+    let archive = match load_archive(Path::new(dir)) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("cannot load {dir}: {e}");
@@ -35,12 +59,22 @@ fn main() {
         eprintln!("no log lines found under {dir}");
         exit(1);
     }
+    let config = DiagnosisConfig::default();
     eprintln!(
         "loaded {} lines; parsing with {} threads ...",
         archive.total_lines(),
-        4
+        Diagnosis::ingest_threads(&config)
     );
-    let d = Diagnosis::from_archive(&archive, DiagnosisConfig::default());
+    let d = Diagnosis::from_archive(&archive, config);
+    if d.skipped_lines > 0 {
+        let pct = 100.0 * d.skipped_lines as f64 / archive.total_lines() as f64;
+        eprintln!(
+            "warning: {} of {} lines unrecognised ({pct:.2}%) — possible log corruption \
+             or unsupported format (counter ingest.skipped_lines)",
+            d.skipped_lines,
+            archive.total_lines()
+        );
+    }
     let jobs = JobLog::from_diagnosis(&d);
 
     println!("=== summary ===");
@@ -70,4 +104,15 @@ fn main() {
 
     println!("\n=== advisories ===");
     print!("{}", render_advisories(&advise(&d, &jobs)));
+
+    let snapshot = telemetry::snapshot();
+    eprintln!("\n--- telemetry ---");
+    eprint!("{}", telemetry::summary_table(&snapshot));
+    if let Some(path) = telemetry_json {
+        if let Err(e) = std::fs::write(&path, snapshot.to_json()) {
+            eprintln!("failed to write telemetry JSON to {path}: {e}");
+            exit(1);
+        }
+        eprintln!("telemetry JSON written to {path}");
+    }
 }

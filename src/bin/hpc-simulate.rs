@@ -2,8 +2,13 @@
 //!
 //! ```text
 //! hpc-simulate <output-dir> [system S1..S5] [cabinets N] [days N] [seed N]
+//!              [--verbose] [--telemetry-json <path>]
 //! cargo run --release --bin hpc-simulate -- /tmp/logs S1 2 7 42
 //! ```
+//!
+//! Progress and the per-stage telemetry table go to stderr. `--verbose`
+//! (or `HPC_TRACE=1`) adds a nested stage trace; `--telemetry-json`
+//! writes the full metric registry as JSON.
 
 use std::path::PathBuf;
 use std::process::exit;
@@ -11,14 +16,32 @@ use std::process::exit;
 use hpc_node_failures::faultsim::Scenario;
 use hpc_node_failures::logs::fs::save_archive;
 use hpc_node_failures::platform::SystemId;
+use hpc_node_failures::telemetry;
 
 fn usage() -> ! {
-    eprintln!("usage: hpc-simulate <output-dir> [system S1..S5] [cabinets N] [days N] [seed N]");
+    eprintln!(
+        "usage: hpc-simulate <output-dir> [system S1..S5] [cabinets N] [days N] [seed N] \
+         [--verbose] [--telemetry-json <path>]"
+    );
     exit(2)
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut telemetry_json: Option<String> = None;
+    let mut positional = Vec::new();
+    let mut raw = std::env::args().skip(1);
+    while let Some(arg) = raw.next() {
+        match arg.as_str() {
+            "--verbose" => telemetry::set_trace(true),
+            "--telemetry-json" => match raw.next() {
+                Some(path) => telemetry_json = Some(path),
+                None => usage(),
+            },
+            _ if arg.starts_with("--") => usage(),
+            _ => positional.push(arg),
+        }
+    }
+    let args = positional;
     let Some(dir) = args.first() else { usage() };
     let dir = PathBuf::from(dir);
     let system = match args.get(1).map(String::as_str).unwrap_or("S1") {
@@ -59,4 +82,15 @@ fn main() {
         dir.display(),
         out.truth.failures.len()
     );
+
+    let snapshot = telemetry::snapshot();
+    eprintln!("\n--- telemetry ---");
+    eprint!("{}", telemetry::summary_table(&snapshot));
+    if let Some(path) = telemetry_json {
+        if let Err(e) = std::fs::write(&path, snapshot.to_json()) {
+            eprintln!("failed to write telemetry JSON to {path}: {e}");
+            exit(1);
+        }
+        eprintln!("telemetry JSON written to {path}");
+    }
 }

@@ -44,6 +44,62 @@ fn simulate_then_diagnose_round_trips() {
 }
 
 #[test]
+fn telemetry_json_flag_writes_valid_report() {
+    let dir = tmpdir("telemetry");
+    let sim_json = dir.join("sim-telemetry.json");
+    let diag_json = dir.join("diag-telemetry.json");
+    let sim = Command::new(env!("CARGO_BIN_EXE_hpc-simulate"))
+        .args([
+            dir.to_str().unwrap(),
+            "S1",
+            "1",
+            "2",
+            "99",
+            "--telemetry-json",
+            sim_json.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run hpc-simulate");
+    assert!(sim.status.success(), "simulate failed: {sim:?}");
+    let stderr = String::from_utf8_lossy(&sim.stderr);
+    assert!(stderr.contains("--- telemetry ---"), "no table: {stderr}");
+    assert!(stderr.contains("faultsim.run"), "no stage rows: {stderr}");
+
+    let diag = Command::new(env!("CARGO_BIN_EXE_hpc-diagnose"))
+        .args([
+            dir.to_str().unwrap(),
+            "--telemetry-json",
+            diag_json.to_str().unwrap(),
+        ])
+        .env("HPC_TRACE", "1")
+        .output()
+        .expect("run hpc-diagnose");
+    assert!(diag.status.success(), "diagnose failed: {diag:?}");
+    let stderr = String::from_utf8_lossy(&diag.stderr);
+    assert!(stderr.contains("[trace]"), "HPC_TRACE trace: {stderr}");
+    assert!(
+        stderr.contains("> core.from_archive"),
+        "trace names stages: {stderr}"
+    );
+    // Telemetry is stderr-only: stdout stays machine-diffable report text.
+    let stdout = String::from_utf8_lossy(&diag.stdout);
+    assert!(!stdout.contains("[trace]"), "trace leaked to stdout");
+    assert!(!stdout.contains("--- telemetry ---"), "table on stdout");
+
+    for (path, stage) in [
+        (&sim_json, "faultsim.run.time_us"),
+        (&diag_json, "core.from_archive.time_us"),
+    ] {
+        let text = std::fs::read_to_string(path).expect("telemetry JSON written");
+        let snap = hpc_node_failures::telemetry::Snapshot::from_json(&text)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let h = snap.histogram(stage).expect(stage);
+        assert!(h.sum > 0, "{stage} has zero duration");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn diagnose_rejects_missing_directory() {
     let out = Command::new(env!("CARGO_BIN_EXE_hpc-diagnose"))
         .arg("/nonexistent/hpc-logs-dir")

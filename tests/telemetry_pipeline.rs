@@ -1,0 +1,108 @@
+//! Telemetry integration: a full simulate→diagnose run populates the
+//! global registry with every pipeline stage and with counts that agree
+//! with the `Diagnosis` the pipeline returned.
+//!
+//! The registry is process-global, so this file keeps everything in one
+//! test (integration-test files run their tests concurrently).
+
+use hpc_node_failures::diagnosis::{external, lead_time, root_cause, Diagnosis, DiagnosisConfig};
+use hpc_node_failures::faultsim::Scenario;
+use hpc_node_failures::platform::SystemId;
+use hpc_node_failures::telemetry;
+
+#[test]
+fn pipeline_run_populates_all_stage_metrics() {
+    telemetry::reset();
+    let out = Scenario::new(SystemId::S1, 1, 2, 77).run();
+    let d = Diagnosis::from_archive(&out.archive, DiagnosisConfig::default());
+    // Exercise the instrumented analysis modules too.
+    let _ = root_cause::classify_all(&d);
+    let _ = lead_time::lead_times(&d);
+    let _ = external::nvf_correspondence(&d);
+
+    let snap = telemetry::snapshot();
+
+    // Every stage shows up with a nonzero wall time.
+    for stage in [
+        "faultsim.run",
+        "faultsim.workload",
+        "faultsim.inject",
+        "faultsim.finalize",
+        "faultsim.render",
+        "sched.workload.generate",
+        "core.from_archive",
+        "core.ingest.parse",
+        "core.ingest.parse.console",
+        "core.ingest.parse.controller",
+        "core.ingest.parse.erd",
+        "core.ingest.parse.scheduler",
+        "core.ingest.merge",
+        "core.detect",
+        "core.swo.partition",
+        "core.index",
+        "core.root_cause.classify_all",
+        "core.lead_time.compute",
+        "core.external.correspondence",
+    ] {
+        let h = snap
+            .histogram(&format!("{stage}.time_us"))
+            .unwrap_or_else(|| panic!("missing stage histogram {stage}.time_us"));
+        assert!(h.count >= 1, "{stage} never ran");
+    }
+    // Stage durations are nonzero at pipeline granularity (sub-microsecond
+    // leaf stages may legitimately round to 0, the top spans may not).
+    for stage in ["faultsim.run", "core.from_archive"] {
+        let h = snap.histogram(&format!("{stage}.time_us")).unwrap();
+        assert!(h.sum > 0, "{stage} took 0us");
+    }
+
+    // Ingest counts agree with what the pipeline returned.
+    assert_eq!(snap.counter("ingest.events"), Some(d.events.len() as u64));
+    assert_eq!(snap.counter("ingest.skipped_lines"), Some(d.skipped_lines));
+    assert_eq!(
+        snap.counter("ingest.lines"),
+        Some(out.archive.total_lines())
+    );
+    // Per-source lines sum to the total.
+    let per_source: u64 = ["console", "controller", "erd", "scheduler"]
+        .iter()
+        .map(|s| snap.counter(&format!("ingest.{s}.lines")).unwrap())
+        .sum();
+    assert_eq!(per_source, out.archive.total_lines());
+
+    // Simulator-side counters agree with ground truth.
+    assert_eq!(
+        snap.counter("faultsim.failures_injected"),
+        Some(out.truth.failures.len() as u64)
+    );
+    assert_eq!(
+        snap.counter("faultsim.rendered_lines"),
+        Some(out.archive.total_lines())
+    );
+    assert_eq!(
+        snap.counter("sched.jobs_generated"),
+        Some(out.timeline.jobs().len() as u64)
+    );
+    assert!(snap.gauge("faultsim.wall_us_per_sim_day").unwrap() > 0.0);
+    assert_eq!(snap.gauge("core.ingest.threads"), Some(4.0));
+
+    // The per-family event counters cover the whole injected population.
+    let family_total: u64 = snap
+        .counters
+        .iter()
+        .filter(|(name, _)| name.starts_with("faultsim.events."))
+        .map(|(_, v)| v)
+        .sum();
+    assert!(family_total > 0, "no family events recorded");
+
+    // The detection stage agrees with the diagnosis (detect runs before
+    // SWO partitioning, so compare against regular + swallowed failures).
+    assert_eq!(
+        snap.counter("core.detect.failures"),
+        Some((d.failures.len() + d.swo_failures.len()) as u64)
+    );
+
+    // And the whole registry survives a JSON round trip.
+    let back = telemetry::Snapshot::from_json(&snap.to_json()).unwrap();
+    assert_eq!(back, snap);
+}
