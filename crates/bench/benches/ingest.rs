@@ -82,5 +82,37 @@ fn bench_ingest_parallelism(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_parse, bench_merge, bench_ingest_parallelism);
+fn bench_ingest_scaling(c: &mut Criterion) {
+    // Pool-width sweep for the chunked work-stealing ingest. The old
+    // one-thread-per-source design capped at 4 threads with the console
+    // stream (the largest by far) on a single one, so its ceiling is the
+    // sequential console parse; chunked ingest should keep scaling past it
+    // on wider machines.
+    let out = archive();
+    let mut group = c.benchmark_group("ingest/scaling");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(out.archive.total_bytes()));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(format!("threads-{threads}"), |b| {
+            b.iter(|| {
+                Diagnosis::from_archive(
+                    &out.archive,
+                    DiagnosisConfig {
+                        ingest_threads: Some(threads),
+                        ..DiagnosisConfig::default()
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_parse,
+    bench_merge,
+    bench_ingest_parallelism,
+    bench_ingest_scaling
+);
 criterion_main!(benches);

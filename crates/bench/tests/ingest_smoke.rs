@@ -1,0 +1,57 @@
+//! CI bench smoke: pooled chunked ingest must not be slower than the
+//! sequential single-thread parse on the seed scenario. Not a precision
+//! benchmark (that's `benches/ingest.rs`) — a release-mode guard against
+//! regressions that would make the pool pure overhead, with a generous
+//! margin for noisy shared runners. The timing assertion only runs in
+//! release builds; a debug `cargo test --workspace` still executes the
+//! ingest paths but skips the comparison.
+
+use std::time::{Duration, Instant};
+
+use hpc_diagnosis::{Diagnosis, DiagnosisConfig};
+use hpc_faultsim::Scenario;
+use hpc_platform::SystemId;
+
+fn best_of(runs: usize, mut f: impl FnMut()) -> Duration {
+    (0..runs)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed()
+        })
+        .min()
+        .expect("runs > 0")
+}
+
+#[test]
+fn pooled_ingest_not_slower_than_sequential() {
+    let out = Scenario::new(SystemId::S1, 2, 5, 1).run();
+    let sequential_config = DiagnosisConfig {
+        parallel_ingest: false,
+        ..DiagnosisConfig::default()
+    };
+    let pooled_config = DiagnosisConfig::default();
+    // Warm up both paths (allocator, page cache, lazy statics).
+    Diagnosis::from_archive(&out.archive, sequential_config);
+    Diagnosis::from_archive(&out.archive, pooled_config);
+    let sequential = best_of(3, || {
+        Diagnosis::from_archive(&out.archive, sequential_config);
+    });
+    let pooled = best_of(3, || {
+        Diagnosis::from_archive(&out.archive, pooled_config);
+    });
+    eprintln!(
+        "ingest smoke: sequential {sequential:?}, pooled {pooled:?} ({} threads)",
+        Diagnosis::ingest_threads(&pooled_config)
+    );
+    if cfg!(debug_assertions) {
+        eprintln!("debug build: skipping the timing assertion");
+        return;
+    }
+    // "Not slower" with headroom for scheduler jitter on shared CI runners;
+    // a real regression (pool slower than one thread) blows well past this.
+    assert!(
+        pooled <= sequential * 3 / 2,
+        "pooled ingest ({pooled:?}) slower than sequential ({sequential:?})"
+    );
+}

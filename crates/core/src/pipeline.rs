@@ -1,18 +1,27 @@
 //! The diagnosis pipeline core: ingest → detect → index.
 //!
 //! [`Diagnosis::from_archive`] is the entry point of the crate. It parses
-//! the four text streams of a [`LogArchive`] (optionally in parallel, one
-//! thread per source), k-way merges them into one chronological event
-//! sequence, detects manifested failures, and builds the per-node /
-//! per-blade / per-cabinet indexes that every analysis module queries.
+//! the four text streams of a [`LogArchive`] — chunked into line ranges and
+//! spread over a work-stealing pool sized from the machine (see
+//! [`Diagnosis::ingest_threads`]) — k-way merges them into one
+//! chronological event sequence, detects manifested failures, and builds
+//! the per-node / per-blade / per-cabinet indexes that every analysis
+//! module queries. [`Diagnosis::from_dir`] runs the same pooled ingest
+//! straight off an on-disk archive with bounded memory.
 //!
 //! The pipeline deliberately starts from *text*: it knows nothing about the
 //! simulator, mirroring the paper's position of mining p0-directory,
 //! controller, ERD and scheduler files.
 
 use std::collections::HashMap;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use hpc_logs::archive::{merge_by_time, LogArchive};
+use hpc_logs::chunk::{
+    chunk_lines_for, chunk_spans, parse_chunk, stitch, ChunkParse, ChunkedStream,
+};
 use hpc_logs::event::{LogEvent, LogSource, Payload};
 use hpc_logs::parse::LogParser;
 use hpc_logs::time::{SimDuration, SimTime};
@@ -25,8 +34,13 @@ use crate::swo::{detect_swos, partition_failures, SwoConfig, SwoWindow};
 /// paper's methodology; the bench crate sweeps them as ablations.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DiagnosisConfig {
-    /// Parse the four source streams on separate threads.
+    /// Parse the streams on a chunked work-stealing pool (false = one
+    /// thread, sequential whole-stream parse).
     pub parallel_ingest: bool,
+    /// Ingest pool width. `None` defers to the `HPC_INGEST_THREADS`
+    /// environment variable, then to `std::thread::available_parallelism()`.
+    /// Ignored when `parallel_ingest` is false.
+    pub ingest_threads: Option<usize>,
     /// How far back from a terminal event root-cause classification looks
     /// for internal precursors.
     pub lookback: SimDuration,
@@ -51,6 +65,7 @@ impl Default for DiagnosisConfig {
     fn default() -> DiagnosisConfig {
         DiagnosisConfig {
             parallel_ingest: true,
+            ingest_threads: None,
             lookback: SimDuration::from_mins(30),
             external_window: SimDuration::from_hours(2),
             failure_horizon: SimDuration::from_hours(6),
@@ -83,24 +98,42 @@ pub struct Diagnosis {
 }
 
 impl Diagnosis {
-    /// Threads used by ingest under `config` (one per source stream when
-    /// parallel). Also what the `core.ingest.threads` gauge reports.
+    /// Ingest pool width under `config`: `config.ingest_threads`, else the
+    /// `HPC_INGEST_THREADS` environment variable, else
+    /// `std::thread::available_parallelism()`; always 1 when
+    /// `parallel_ingest` is off. Also what the `core.ingest.threads` gauge
+    /// reports.
     pub fn ingest_threads(config: &DiagnosisConfig) -> usize {
-        if config.parallel_ingest {
-            LogSource::ALL.len()
-        } else {
-            1
+        Self::resolve_ingest_threads(config, std::env::var("HPC_INGEST_THREADS").ok().as_deref())
+    }
+
+    fn resolve_ingest_threads(config: &DiagnosisConfig, env: Option<&str>) -> usize {
+        if !config.parallel_ingest {
+            return 1;
         }
+        config
+            .ingest_threads
+            .or_else(|| {
+                env.and_then(|v| v.trim().parse().ok())
+                    .filter(|&n: &usize| n > 0)
+            })
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(4)
+            })
+            .max(1)
     }
 
     /// Runs ingest + detection + indexing over an archive.
     pub fn from_archive(archive: &LogArchive, config: DiagnosisConfig) -> Diagnosis {
         let _span = hpc_telemetry::span!("core.from_archive");
-        hpc_telemetry::gauge("core.ingest.threads").set(Self::ingest_threads(&config) as f64);
+        let threads = Self::ingest_threads(&config);
+        hpc_telemetry::gauge("core.ingest.threads").set(threads as f64);
         let (per_source, skipped_lines) = {
             let _parse = hpc_telemetry::span!("core.ingest.parse");
             if config.parallel_ingest {
-                parse_sources_parallel(archive)
+                parse_sources_pooled(archive, threads)
             } else {
                 parse_sources_sequential(archive)
             }
@@ -115,8 +148,62 @@ impl Diagnosis {
         Self::from_events(events, skipped_lines, config)
     }
 
+    /// Runs the pooled ingest directly off an on-disk archive directory
+    /// (the `save_archive` layout), reading each stream in bounded line
+    /// batches instead of materialising whole files the way
+    /// `load_archive` + [`Diagnosis::from_archive`] does. Missing stream
+    /// files load as empty, matching `load_archive`.
+    pub fn from_dir(root: &Path, config: DiagnosisConfig) -> io::Result<Diagnosis> {
+        let _span = hpc_telemetry::span!("core.from_dir");
+        let threads = Self::ingest_threads(&config);
+        hpc_telemetry::gauge("core.ingest.threads").set(threads as f64);
+        let scheduler = hpc_logs::fs::detect_scheduler(root);
+        let mut per_source = Vec::with_capacity(LogSource::ALL.len());
+        let mut skipped_lines = 0u64;
+        let mut total_lines = 0u64;
+        {
+            let _parse = hpc_telemetry::span!("core.ingest.parse");
+            for source in LogSource::ALL {
+                let _src = hpc_telemetry::span!(format!("core.ingest.parse.{}", source.key()));
+                let path = root.join(hpc_logs::fs::source_path(source, scheduler));
+                let stream = if path.exists() {
+                    stream_file_pooled(&path, source, threads)?
+                } else {
+                    ChunkedStream {
+                        events: Vec::new(),
+                        parsed_lines: 0,
+                        skipped_lines: 0,
+                    }
+                };
+                record_source_counters(
+                    source,
+                    stream.total_lines(),
+                    stream.events.len() as u64,
+                    stream.skipped_lines,
+                );
+                total_lines += stream.total_lines();
+                skipped_lines += stream.skipped_lines;
+                per_source.push(stream.events);
+            }
+        }
+        hpc_telemetry::counter("ingest.lines").add(total_lines);
+        hpc_telemetry::counter("ingest.skipped_lines").add(skipped_lines);
+        let events = {
+            let _merge = hpc_telemetry::span!("core.ingest.merge");
+            merge_by_time(per_source)
+        };
+        hpc_telemetry::counter("ingest.events").add(events.len() as u64);
+        Ok(Self::from_events(events, skipped_lines, config))
+    }
+
     /// Builds a diagnosis from already-parsed chronological events (used by
     /// tests and the structured-fast-path ablation).
+    ///
+    /// # Panics
+    ///
+    /// If there are more than `u32::MAX` events — the per-node/blade/cabinet
+    /// indexes store dense `u32` positions, and truncating would silently
+    /// point them at the wrong events. Split the observation window instead.
     pub fn from_events(
         events: Vec<LogEvent>,
         skipped_lines: u64,
@@ -151,7 +238,9 @@ impl Diagnosis {
         let mut blade_external: HashMap<BladeId, Vec<u32>> = HashMap::new();
         let mut cabinet_external: HashMap<CabinetId, Vec<u32>> = HashMap::new();
         for (i, event) in events.iter().enumerate() {
-            let i = i as u32;
+            let i = u32::try_from(i).unwrap_or_else(|_| {
+                panic!("event {i} exceeds the u32 capacity of the dense event indexes; split the observation window")
+            });
             if let Some(node) = event.subject_node() {
                 node_index.entry(node).or_default().push(i);
             }
@@ -310,23 +399,134 @@ fn parse_sources_sequential(archive: &LogArchive) -> (Vec<Vec<LogEvent>>, u64) {
     (per_source, skipped)
 }
 
-/// Parses the four streams on four scoped threads (the streams are
-/// independent, so this is embarrassingly parallel; the k-way merge runs
-/// after the join).
-fn parse_sources_parallel(archive: &LogArchive) -> (Vec<Vec<LogEvent>>, u64) {
-    let mut results: Vec<(Vec<LogEvent>, u64)> = Vec::with_capacity(4);
+/// One pool task: a line-range chunk of one source stream.
+struct ChunkTask<'a> {
+    source_idx: usize,
+    chunk_idx: usize,
+    lines: &'a [String],
+}
+
+/// Runs `tasks` on `threads` scoped workers pulling from one shared queue
+/// (an atomic cursor — chunks are claimed in order, finished in any order).
+/// Returns each task's `(source_idx, chunk_idx, parse, elapsed_us)`.
+fn run_chunk_pool(tasks: &[ChunkTask<'_>], threads: usize) -> Vec<(usize, usize, ChunkParse, u64)> {
+    let next = AtomicUsize::new(0);
+    let workers = threads.min(tasks.len()).max(1);
+    let mut collected = Vec::with_capacity(tasks.len());
     crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = LogSource::ALL
-            .iter()
-            .map(|&source| scope.spawn(move |_| parse_one_source(archive, source)))
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                scope.spawn(move |_| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(task) = tasks.get(i) else { break };
+                        let span = hpc_telemetry::Span::enter("core.ingest.chunk");
+                        let parse = parse_chunk(
+                            LogSource::ALL[task.source_idx],
+                            task.lines.iter().map(|s| s.as_str()),
+                        );
+                        let us = span.finish();
+                        local.push((task.source_idx, task.chunk_idx, parse, us));
+                    }
+                    local
+                })
+            })
             .collect();
         for h in handles {
-            results.push(h.join().expect("parser thread panicked"));
+            collected.extend(h.join().expect("ingest worker panicked"));
         }
     })
     .expect("crossbeam scope");
-    let skipped = results.iter().map(|(_, s)| s).sum();
-    (results.into_iter().map(|(e, _)| e).collect(), skipped)
+    collected
+}
+
+/// Parses all four streams as line-range chunks on one work-stealing pool:
+/// every chunk of every source feeds a single shared queue, so the console
+/// stream (by far the largest) spreads across the whole machine instead of
+/// pinning one thread per source the way the old 4-way split did. Chunk
+/// results are reassembled per source in file order by
+/// [`hpc_logs::chunk::stitch`], which makes the output bit-identical to a
+/// sequential parse even when chunk boundaries cut through multi-line
+/// oops/stack-trace records (see `crates/logs/src/chunk.rs`).
+fn parse_sources_pooled(archive: &LogArchive, threads: usize) -> (Vec<Vec<LogEvent>>, u64) {
+    let mut tasks: Vec<ChunkTask<'_>> = Vec::new();
+    for (si, &source) in LogSource::ALL.iter().enumerate() {
+        let lines = archive.lines(source);
+        let chunk_lines = chunk_lines_for(lines.len(), threads);
+        for (ci, span) in chunk_spans(lines.len(), chunk_lines).enumerate() {
+            tasks.push(ChunkTask {
+                source_idx: si,
+                chunk_idx: ci,
+                lines: &lines[span],
+            });
+        }
+    }
+    let mut grouped: Vec<Vec<(usize, ChunkParse, u64)>> =
+        (0..LogSource::ALL.len()).map(|_| Vec::new()).collect();
+    for (si, ci, parse, us) in run_chunk_pool(&tasks, threads) {
+        grouped[si].push((ci, parse, us));
+    }
+    let mut per_source = Vec::with_capacity(LogSource::ALL.len());
+    let mut skipped = 0u64;
+    for (si, mut chunks) in grouped.into_iter().enumerate() {
+        let source = LogSource::ALL[si];
+        chunks.sort_by_key(|&(ci, _, _)| ci);
+        let parse_us: u64 = chunks.iter().map(|&(_, _, us)| us).sum();
+        let stitch_span =
+            hpc_telemetry::Span::enter(format!("core.ingest.stitch.{}", source.key()));
+        let stream = stitch(chunks.into_iter().map(|(_, p, _)| p));
+        let stitch_us = stitch_span.finish();
+        // Under pooled ingest the per-source parse histogram aggregates the
+        // CPU time the source's chunks spent across the pool (plus the
+        // stitch), not one thread's wall time.
+        hpc_telemetry::histogram(&format!("core.ingest.parse.{}.time_us", source.key()))
+            .record(parse_us + stitch_us);
+        hpc_telemetry::counter(&format!("core.ingest.parse.{}.calls", source.key())).inc();
+        record_source_counters(
+            source,
+            stream.total_lines(),
+            stream.events.len() as u64,
+            stream.skipped_lines,
+        );
+        skipped += stream.skipped_lines;
+        per_source.push(stream.events);
+    }
+    (per_source, skipped)
+}
+
+/// Streams one log file through the chunked pool: reads a bounded batch of
+/// lines, parses the batch's chunks concurrently, keeps only the parsed
+/// [`ChunkParse`] results, and moves to the next batch — so raw text in
+/// memory never exceeds one batch even for multi-GB files. All chunk
+/// results stitch once at EOF (stitching is sequential by design and needs
+/// the chunks in file order).
+fn stream_file_pooled(path: &Path, source: LogSource, threads: usize) -> io::Result<ChunkedStream> {
+    // Fixed chunk size: file length is unknown up front, and 4 Ki lines is
+    // comfortably above the chunk_lines_for floor while keeping batches
+    // (threads * 2 chunks) responsive.
+    const CHUNK_LINES: usize = 4096;
+    let si = LogSource::ALL
+        .iter()
+        .position(|&s| s == source)
+        .expect("source in ALL");
+    let mut chunks: Vec<ChunkParse> = Vec::new();
+    for batch in hpc_logs::fs::LineBatches::open(path, CHUNK_LINES * threads * 2)? {
+        let batch = batch?;
+        let tasks: Vec<ChunkTask<'_>> = chunk_spans(batch.len(), CHUNK_LINES)
+            .enumerate()
+            .map(|(ci, span)| ChunkTask {
+                source_idx: si,
+                chunk_idx: ci,
+                lines: &batch[span],
+            })
+            .collect();
+        let mut parsed = run_chunk_pool(&tasks, threads);
+        parsed.sort_by_key(|&(_, ci, _, _)| ci);
+        chunks.extend(parsed.into_iter().map(|(_, _, p, _)| p));
+    }
+    Ok(stitch(chunks))
 }
 
 #[cfg(test)]
@@ -354,6 +554,84 @@ mod tests {
         assert_eq!(dp.events, ds.events);
         assert_eq!(dp.failures, ds.failures);
         assert_eq!(dp.skipped_lines, ds.skipped_lines);
+    }
+
+    #[test]
+    fn pooled_ingest_agrees_at_every_pool_width() {
+        let out = Scenario::new(SystemId::S1, 2, 7, 11).run();
+        let seq = Diagnosis::from_archive(
+            &out.archive,
+            DiagnosisConfig {
+                parallel_ingest: false,
+                ..DiagnosisConfig::default()
+            },
+        );
+        let machine = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        for threads in [1, 2, 4, machine] {
+            let pooled = Diagnosis::from_archive(
+                &out.archive,
+                DiagnosisConfig {
+                    ingest_threads: Some(threads),
+                    ..DiagnosisConfig::default()
+                },
+            );
+            assert_eq!(pooled.events, seq.events, "pool width {threads}");
+            assert_eq!(pooled.failures, seq.failures, "pool width {threads}");
+            assert_eq!(
+                pooled.skipped_lines, seq.skipped_lines,
+                "pool width {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn from_dir_streams_to_the_same_diagnosis() {
+        let out = Scenario::new(SystemId::S1, 1, 4, 13).run();
+        let dir =
+            std::env::temp_dir().join(format!("hpc-core-from-dir-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        hpc_logs::fs::save_archive(&out.archive, &dir).unwrap();
+        let streamed = Diagnosis::from_dir(&dir, DiagnosisConfig::default()).unwrap();
+        let in_memory = Diagnosis::from_archive(&out.archive, DiagnosisConfig::default());
+        assert_eq!(streamed.events, in_memory.events);
+        assert_eq!(streamed.failures, in_memory.failures);
+        assert_eq!(streamed.skipped_lines, in_memory.skipped_lines);
+        // Missing streams load as empty, like load_archive.
+        std::fs::remove_dir_all(dir.join("controller")).unwrap();
+        let partial = Diagnosis::from_dir(&dir, DiagnosisConfig::default()).unwrap();
+        assert!(partial.events.len() < in_memory.events.len());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn ingest_thread_resolution_precedence() {
+        let seq = DiagnosisConfig {
+            parallel_ingest: false,
+            ingest_threads: Some(9),
+            ..DiagnosisConfig::default()
+        };
+        assert_eq!(Diagnosis::resolve_ingest_threads(&seq, Some("6")), 1);
+        let cfg = DiagnosisConfig {
+            ingest_threads: Some(3),
+            ..DiagnosisConfig::default()
+        };
+        // Explicit config beats the environment, which beats the machine.
+        assert_eq!(Diagnosis::resolve_ingest_threads(&cfg, Some("6")), 3);
+        let auto = DiagnosisConfig::default();
+        assert_eq!(Diagnosis::resolve_ingest_threads(&auto, Some("6")), 6);
+        assert_eq!(Diagnosis::resolve_ingest_threads(&auto, Some(" 2 ")), 2);
+        let machine = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        for bad in [None, Some("0"), Some("lots"), Some("")] {
+            assert_eq!(
+                Diagnosis::resolve_ingest_threads(&auto, bad),
+                machine,
+                "{bad:?}"
+            );
+        }
     }
 
     #[test]

@@ -82,9 +82,22 @@ impl LogArchive {
         self.streams[idx].append(&mut self.render_buf);
     }
 
-    /// Appends a raw line (for injecting noise/corruption in tests).
+    /// Appends a raw line (disk loads, noise/corruption injection).
+    ///
+    /// If the line opens with a recognisable timestamp, the stream clock
+    /// advances to it (never backwards), so the out-of-order guard in
+    /// [`LogArchive::append_event`] stays meaningful for archives loaded
+    /// from disk and then appended to. Timestampless noise, or noise with a
+    /// stale timestamp, leaves the clock untouched — corruption must not
+    /// make legitimate later appends panic.
     pub fn push_raw_line(&mut self, source: LogSource, line: String) {
-        self.streams[source_index(source)].push(line);
+        let idx = source_index(source);
+        if let Some((t, _)) = crate::parse::split_timestamp(&line) {
+            if self.last_time[idx].is_none_or(|prev| prev < t) {
+                self.last_time[idx] = Some(t);
+            }
+        }
+        self.streams[idx].push(line);
     }
 
     /// The text lines of one stream.
@@ -278,5 +291,34 @@ mod tests {
         let mut a = LogArchive::new(SchedulerKind::Slurm);
         a.append_event(&console_event(10, 1));
         a.append_event(&console_event(5, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-order")]
+    #[cfg(debug_assertions)]
+    fn raw_line_with_timestamp_advances_stream_clock() {
+        // Load-then-append: a raw line (as load_archive pushes) must arm the
+        // out-of-order guard, so appending before its timestamp panics.
+        let mut a = LogArchive::new(SchedulerKind::Slurm);
+        a.push_raw_line(
+            LogSource::Console,
+            "2016-01-01T00:00:10.000 c0-0c0s0n0 kernel: Disabling lock debugging".into(),
+        );
+        a.append_event(&console_event(5_000, 1));
+    }
+
+    #[test]
+    fn stale_or_timestampless_raw_lines_do_not_rewind_clock() {
+        let mut a = LogArchive::new(SchedulerKind::Slurm);
+        a.append_event(&console_event(10_000, 1));
+        // Corruption with an old timestamp, and timestampless garbage: both
+        // tolerated, neither rewinds the stream clock.
+        a.push_raw_line(
+            LogSource::Console,
+            "2016-01-01T00:00:01.000 c0-0c0s0n0 kernel: stale replayed line".into(),
+        );
+        a.push_raw_line(LogSource::Console, "%%% corrupted line %%%".into());
+        a.append_event(&console_event(10_500, 1));
+        assert_eq!(a.stats(LogSource::Console).lines, 4);
     }
 }

@@ -57,16 +57,32 @@ pub fn save_archive(archive: &LogArchive, root: &Path) -> io::Result<()> {
     Ok(())
 }
 
-/// Loads an archive from `root`. Missing files yield empty streams (the
-/// paper's "absence of certain environmental logs"); the scheduler flavour
-/// is detected from which scheduler file exists (defaulting to Slurm).
-pub fn load_archive(root: &Path) -> io::Result<LogArchive> {
-    let _span = hpc_telemetry::span!("logs.load_archive");
-    let scheduler = if root.join("scheduler/pbs_server.log").exists() {
+/// Detects the scheduler flavour of an on-disk archive from its scheduler
+/// log files. A non-empty log wins over a merely-existing empty one (SMW
+/// exports routinely carry a zero-byte file for the scheduler that is
+/// installed but not in use); when both are empty or absent, an existing
+/// `pbs_server.log` means Torque, otherwise Slurm.
+pub fn detect_scheduler(root: &Path) -> SchedulerKind {
+    let pbs = root.join(source_path(LogSource::Scheduler, SchedulerKind::Torque));
+    let slurm = root.join(source_path(LogSource::Scheduler, SchedulerKind::Slurm));
+    let non_empty = |p: &Path| fs::metadata(p).map(|m| m.len() > 0).unwrap_or(false);
+    if non_empty(&pbs) {
+        SchedulerKind::Torque
+    } else if non_empty(&slurm) {
+        SchedulerKind::Slurm
+    } else if pbs.exists() {
         SchedulerKind::Torque
     } else {
         SchedulerKind::Slurm
-    };
+    }
+}
+
+/// Loads an archive from `root`. Missing files yield empty streams (the
+/// paper's "absence of certain environmental logs"); the scheduler flavour
+/// comes from [`detect_scheduler`].
+pub fn load_archive(root: &Path) -> io::Result<LogArchive> {
+    let _span = hpc_telemetry::span!("logs.load_archive");
+    let scheduler = detect_scheduler(root);
     let mut archive = LogArchive::new(scheduler);
     for source in LogSource::ALL {
         let path = root.join(source_path(source, scheduler));
@@ -102,6 +118,48 @@ pub fn parse_file(path: &Path, source: LogSource) -> io::Result<(Vec<crate::LogE
     parser.finish(&mut out);
     out.sort_by_key(|e| e.time);
     Ok((out, parser.skipped_lines))
+}
+
+/// Reads a log file as fixed-size batches of lines (trailing `\r`/`\n`
+/// stripped), holding only one batch in memory at a time — the I/O side of
+/// the pooled streaming ingest (`hpc-diagnosis`'s `Diagnosis::from_dir`),
+/// which parses each batch's chunks concurrently before reading the next.
+pub struct LineBatches {
+    reader: BufReader<fs::File>,
+    batch_lines: usize,
+}
+
+impl LineBatches {
+    /// Opens `path` for batched reading, `batch_lines` lines per batch
+    /// (clamped to at least 1).
+    pub fn open(path: &Path, batch_lines: usize) -> io::Result<LineBatches> {
+        Ok(LineBatches {
+            reader: BufReader::new(fs::File::open(path)?),
+            batch_lines: batch_lines.max(1),
+        })
+    }
+}
+
+impl Iterator for LineBatches {
+    type Item = io::Result<Vec<String>>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let mut batch = Vec::with_capacity(self.batch_lines.min(1 << 16));
+        let mut line = String::new();
+        while batch.len() < self.batch_lines {
+            line.clear();
+            match self.reader.read_line(&mut line) {
+                Ok(0) => break,
+                Ok(_) => batch.push(line.trim_end_matches(['\n', '\r']).to_string()),
+                Err(e) => return Some(Err(e)),
+            }
+        }
+        if batch.is_empty() {
+            None
+        } else {
+            Some(Ok(batch))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -171,6 +229,41 @@ mod tests {
     }
 
     #[test]
+    fn empty_pbs_file_does_not_shadow_populated_slurm_log() {
+        // Regression: an empty pbs_server.log next to a populated
+        // slurmctld.log used to flip detection to Torque, which then loaded
+        // the empty file and dropped every scheduler line.
+        let dir = tmpdir("both-scheds");
+        let mut a = sample_archive();
+        a.append_event(&LogEvent {
+            time: SimTime::from_millis(20_000),
+            payload: Payload::Scheduler {
+                detail: crate::event::SchedulerDetail::JobEnd {
+                    job: crate::event::JobId(7),
+                    exit_code: 0,
+                    reason: crate::event::JobEndReason::Completed,
+                },
+            },
+        });
+        save_archive(&a, &dir).unwrap();
+        fs::write(dir.join("scheduler/pbs_server.log"), "").unwrap();
+        assert_eq!(detect_scheduler(&dir), SchedulerKind::Slurm);
+        let b = load_archive(&dir).unwrap();
+        assert_eq!(b.scheduler(), SchedulerKind::Slurm);
+        assert_eq!(b.lines(LogSource::Scheduler).len(), 1);
+        // And symmetrically: a populated pbs log still wins over an empty
+        // slurm one.
+        fs::write(dir.join("scheduler/slurmctld.log"), "").unwrap();
+        fs::write(
+            dir.join("scheduler/pbs_server.log"),
+            "2016-01-01T00:00:30.000 pbs_server: job 9 exit_code=0 reason=completed\n",
+        )
+        .unwrap();
+        assert_eq!(detect_scheduler(&dir), SchedulerKind::Torque);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn parse_file_streams_and_matches_in_memory_parse() {
         let dir = tmpdir("stream");
         let a = sample_archive();
@@ -194,6 +287,28 @@ mod tests {
         let (events, skipped) = parse_file(&path, LogSource::Console).unwrap();
         assert_eq!(events.len(), 1, "CRLF line endings must be tolerated");
         assert_eq!(skipped, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn line_batches_cover_file_exactly() {
+        let dir = tmpdir("batches");
+        let path = dir.join("log");
+        let lines: Vec<String> = (0..10).map(|i| format!("line {i}")).collect();
+        fs::write(&path, format!("{}\r\n", lines.join("\n"))).unwrap();
+        let batches: Vec<Vec<String>> = LineBatches::open(&path, 4)
+            .unwrap()
+            .map(|b| b.unwrap())
+            .collect();
+        assert_eq!(
+            batches.iter().map(Vec::len).collect::<Vec<_>>(),
+            vec![4, 4, 2]
+        );
+        assert_eq!(batches.concat(), lines);
+        // Degenerate batch size clamps to 1; empty file yields no batches.
+        assert_eq!(LineBatches::open(&path, 0).unwrap().count(), 10);
+        fs::write(&path, "").unwrap();
+        assert_eq!(LineBatches::open(&path, 4).unwrap().count(), 0);
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -48,6 +48,7 @@
 //!   files (SMW-export layout), for use on real log trees.
 
 pub mod archive;
+pub mod chunk;
 pub mod event;
 pub mod fs;
 pub mod parse;

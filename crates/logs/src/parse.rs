@@ -29,16 +29,129 @@ use crate::time::SimTime;
 
 /// What a pending multi-line console report will become.
 #[derive(Debug, Clone)]
-enum PendKind {
+pub(crate) enum PendKind {
     Oops(OopsCause),
     Hung { task: AppKind, pid: u32 },
 }
 
 #[derive(Debug, Clone)]
-struct PendingTrace {
+pub(crate) struct PendingTrace {
+    pub(crate) time: SimTime,
+    pub(crate) kind: PendKind,
+    pub(crate) modules: Vec<StackModule>,
+}
+
+/// Structural shape of one console line, independent of parser state.
+///
+/// This is the classification [`LogParser`] switches on; the chunked parser
+/// ([`crate::chunk`]) reuses it so both paths agree byte-for-byte on what a
+/// line *is* — only what to *do* with continuation lines depends on whether
+/// the preceding context is known.
+pub(crate) enum ConsoleLine<'a> {
+    /// Line without a valid `<ts> <cname> kernel: ` envelope — always skipped,
+    /// never touches parser state.
+    Unrecognised,
+    /// A `Call Trace:` header for `node`.
+    CallTrace(NodeId),
+    /// A stack frame for `node`. `None` when the frame is malformed or names
+    /// an unknown symbol (skipped regardless of pending state).
+    Frame(NodeId, Option<StackModule>),
+    /// Any other well-enveloped line: completes a pending report for `node`
+    /// before being interpreted on its own.
+    Other(NodeId, SimTime, &'a str),
+}
+
+/// Classifies a console line. Pure: no parser state involved.
+pub(crate) fn classify_console(line: &str) -> ConsoleLine<'_> {
+    let Some((time, rest)) = split_timestamp(line) else {
+        return ConsoleLine::Unrecognised;
+    };
+    // "<cname> kernel: <payload>"
+    let Some((cname_str, rest)) = rest.split_once(' ') else {
+        return ConsoleLine::Unrecognised;
+    };
+    let Ok(cname) = cname_str.parse::<Cname>() else {
+        return ConsoleLine::Unrecognised;
+    };
+    let Some(node) = cname.node_id() else {
+        return ConsoleLine::Unrecognised;
+    };
+    let Some(rest) = rest.strip_prefix("kernel: ") else {
+        return ConsoleLine::Unrecognised;
+    };
+    let trimmed = rest.trim_start();
+    if trimmed == "Call Trace:" {
+        return ConsoleLine::CallTrace(node);
+    }
+    if let Some(frame) = trimmed.strip_prefix("[<") {
+        // "[<ffffffff8100beef>] symbol+0x132/0x240"
+        let module = frame
+            .split_once(">] ")
+            .map(|(_, sym_part)| sym_part.split('+').next().unwrap_or(""))
+            .and_then(StackModule::from_symbol);
+        return ConsoleLine::Frame(node, module);
+    }
+    ConsoleLine::Other(node, time, rest)
+}
+
+/// Handles a non-continuation console line: completes any pending report for
+/// `node`, then either opens a new multi-line report or emits a single-line
+/// event. Returns `true` if the line was recognised. Shared by the stateful
+/// and chunked parsers.
+pub(crate) fn console_other_line(
+    pending: &mut HashMap<NodeId, PendingTrace>,
+    node: NodeId,
     time: SimTime,
-    kind: PendKind,
-    modules: Vec<StackModule>,
+    rest: &str,
+    out: &mut Vec<LogEvent>,
+) -> bool {
+    // Any non-trace line from this node completes the pending report first.
+    if let Some(p) = pending.remove(&node) {
+        out.push(complete_pending(node, p));
+    }
+
+    // Multi-line starters buffer instead of emitting.
+    if let Some(cause) = OopsCause::from_first_line(rest) {
+        pending.insert(
+            node,
+            PendingTrace {
+                time,
+                kind: PendKind::Oops(cause),
+                modules: Vec::new(),
+            },
+        );
+        return true;
+    }
+    if let Some(r) = rest.strip_prefix("INFO: task ") {
+        // "INFO: task {exe}:{pid} blocked for more than 120 seconds."
+        let Some((ident, _)) = r.split_once(" blocked") else {
+            return false;
+        };
+        let Some((exe, pid)) = ident.rsplit_once(':') else {
+            return false;
+        };
+        let (Some(task), Ok(pid)) = (AppKind::from_executable(exe), pid.parse::<u32>()) else {
+            return false;
+        };
+        pending.insert(
+            node,
+            PendingTrace {
+                time,
+                kind: PendKind::Hung { task, pid },
+                modules: Vec::new(),
+            },
+        );
+        return true;
+    }
+
+    let Some(detail) = parse_console_single(rest) else {
+        return false;
+    };
+    out.push(LogEvent {
+        time,
+        payload: Payload::Console { node, detail },
+    });
+    true
 }
 
 /// Stateful multi-stream log parser.
@@ -78,13 +191,12 @@ impl LogParser {
         ok
     }
 
-    /// Flushes any buffered multi-line reports (in timestamp order).
+    /// Flushes any buffered multi-line reports (in timestamp order, ties
+    /// broken by node id so the drain is deterministic — `pending` is a
+    /// `HashMap`, whose iteration order would otherwise leak into the
+    /// output when two nodes' reports share a timestamp).
     pub fn finish(&mut self, out: &mut Vec<LogEvent>) {
-        let mut drained: Vec<(NodeId, PendingTrace)> = self.pending.drain().collect();
-        drained.sort_by_key(|(_, p)| p.time);
-        for (node, p) in drained {
-            out.push(complete_pending(node, p));
-        }
+        drain_pending(&mut self.pending, out);
     }
 
     /// Convenience: parses an entire in-memory stream and returns the events
@@ -109,95 +221,37 @@ impl LogParser {
     }
 
     fn parse_console(&mut self, line: &str, out: &mut Vec<LogEvent>) -> bool {
-        let Some((time, rest)) = split_timestamp(line) else {
-            return false;
-        };
-        // "<cname> kernel: <payload>"
-        let Some((cname_str, rest)) = rest.split_once(' ') else {
-            return false;
-        };
-        let Ok(cname) = cname_str.parse::<Cname>() else {
-            return false;
-        };
-        let Some(node) = cname.node_id() else {
-            return false;
-        };
-        let Some(rest) = rest.strip_prefix("kernel: ") else {
-            return false;
-        };
-
-        // Trace continuation lines extend the pending report.
-        let trimmed = rest.trim_start();
-        if trimmed == "Call Trace:" {
-            return self.pending.contains_key(&node);
+        match classify_console(line) {
+            ConsoleLine::Unrecognised => false,
+            // Trace continuation lines extend the pending report.
+            ConsoleLine::CallTrace(node) => self.pending.contains_key(&node),
+            ConsoleLine::Frame(node, module) => match (self.pending.get_mut(&node), module) {
+                (Some(p), Some(module)) => {
+                    p.modules.push(module);
+                    true
+                }
+                // Orphan frames and malformed/unknown symbols are skipped;
+                // an open report stays open across a bad frame.
+                _ => false,
+            },
+            ConsoleLine::Other(node, time, rest) => {
+                console_other_line(&mut self.pending, node, time, rest, out)
+            }
         }
-        if let Some(frame) = trimmed.strip_prefix("[<") {
-            // "[<ffffffff8100beef>] symbol+0x132/0x240"
-            let Some(p) = self.pending.get_mut(&node) else {
-                return false;
-            };
-            let Some((_, sym_part)) = frame.split_once(">] ") else {
-                return false;
-            };
-            let sym = sym_part.split('+').next().unwrap_or("");
-            let Some(module) = StackModule::from_symbol(sym) else {
-                return false;
-            };
-            p.modules.push(module);
-            return true;
-        }
-
-        // Any other line from this node completes the pending report first.
-        if let Some(p) = self.pending.remove(&node) {
-            out.push(complete_pending(node, p));
-        }
-
-        // Multi-line starters buffer instead of emitting.
-        if let Some(cause) = OopsCause::from_first_line(rest) {
-            self.pending.insert(
-                node,
-                PendingTrace {
-                    time,
-                    kind: PendKind::Oops(cause),
-                    modules: Vec::new(),
-                },
-            );
-            return true;
-        }
-        if let Some(r) = rest.strip_prefix("INFO: task ") {
-            // "INFO: task {exe}:{pid} blocked for more than 120 seconds."
-            let Some((ident, _)) = r.split_once(" blocked") else {
-                return false;
-            };
-            let Some((exe, pid)) = ident.rsplit_once(':') else {
-                return false;
-            };
-            let (Some(task), Ok(pid)) = (AppKind::from_executable(exe), pid.parse::<u32>()) else {
-                return false;
-            };
-            self.pending.insert(
-                node,
-                PendingTrace {
-                    time,
-                    kind: PendKind::Hung { task, pid },
-                    modules: Vec::new(),
-                },
-            );
-            return true;
-        }
-
-        let Some(detail) = parse_console_single(rest) else {
-            return false;
-        };
-        out.push(LogEvent {
-            time,
-            payload: Payload::Console { node, detail },
-        });
-        true
     }
 }
 
-fn complete_pending(node: NodeId, p: PendingTrace) -> LogEvent {
+/// Drains `pending` into `out`, sorted by (time, node) so the completion
+/// order of equal-time reports does not depend on `HashMap` iteration order.
+pub(crate) fn drain_pending(pending: &mut HashMap<NodeId, PendingTrace>, out: &mut Vec<LogEvent>) {
+    let mut drained: Vec<(NodeId, PendingTrace)> = pending.drain().collect();
+    drained.sort_by_key(|(node, p)| (p.time, *node));
+    for (node, p) in drained {
+        out.push(complete_pending(node, p));
+    }
+}
+
+pub(crate) fn complete_pending(node: NodeId, p: PendingTrace) -> LogEvent {
     let detail = match p.kind {
         PendKind::Oops(cause) => ConsoleDetail::KernelOops {
             cause,
@@ -594,7 +648,7 @@ fn parse_scheduler_payload(rest: &str) -> Option<SchedulerDetail> {
 }
 
 /// Splits the leading 23-char timestamp plus one space from a line.
-fn split_timestamp(line: &str) -> Option<(SimTime, &str)> {
+pub(crate) fn split_timestamp(line: &str) -> Option<(SimTime, &str)> {
     if line.len() < 25 {
         return None;
     }

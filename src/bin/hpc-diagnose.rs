@@ -22,7 +22,6 @@ use hpc_node_failures::diagnosis::lead_time::{lead_times, summarize};
 use hpc_node_failures::diagnosis::report;
 use hpc_node_failures::diagnosis::root_cause::{CauseBreakdown, Fig16Bucket};
 use hpc_node_failures::diagnosis::{Diagnosis, DiagnosisConfig};
-use hpc_node_failures::logs::fs::load_archive;
 use hpc_node_failures::telemetry;
 
 fn usage() -> ! {
@@ -48,31 +47,32 @@ fn main() {
     let Some(dir) = positional.first() else {
         usage()
     };
-    let archive = match load_archive(Path::new(dir)) {
-        Ok(a) => a,
+    let config = DiagnosisConfig::default();
+    eprintln!(
+        "streaming logs from {dir} with {} ingest threads ...",
+        Diagnosis::ingest_threads(&config)
+    );
+    // Stream the archive through the pooled ingest: raw text in memory
+    // stays bounded by one batch per stream, instead of load_archive
+    // materialising every line of all four files up front.
+    let d = match Diagnosis::from_dir(Path::new(dir), config) {
+        Ok(d) => d,
         Err(e) => {
             eprintln!("cannot load {dir}: {e}");
             exit(1);
         }
     };
-    if archive.total_lines() == 0 {
+    let snapshot_lines = telemetry::snapshot().counter("ingest.lines").unwrap_or(0);
+    if snapshot_lines == 0 {
         eprintln!("no log lines found under {dir}");
         exit(1);
     }
-    let config = DiagnosisConfig::default();
-    eprintln!(
-        "loaded {} lines; parsing with {} threads ...",
-        archive.total_lines(),
-        Diagnosis::ingest_threads(&config)
-    );
-    let d = Diagnosis::from_archive(&archive, config);
     if d.skipped_lines > 0 {
-        let pct = 100.0 * d.skipped_lines as f64 / archive.total_lines() as f64;
+        let pct = 100.0 * d.skipped_lines as f64 / snapshot_lines as f64;
         eprintln!(
             "warning: {} of {} lines unrecognised ({pct:.2}%) — possible log corruption \
              or unsupported format (counter ingest.skipped_lines)",
-            d.skipped_lines,
-            archive.total_lines()
+            d.skipped_lines, snapshot_lines
         );
     }
     let jobs = JobLog::from_diagnosis(&d);

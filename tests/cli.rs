@@ -78,7 +78,7 @@ fn telemetry_json_flag_writes_valid_report() {
     let stderr = String::from_utf8_lossy(&diag.stderr);
     assert!(stderr.contains("[trace]"), "HPC_TRACE trace: {stderr}");
     assert!(
-        stderr.contains("> core.from_archive"),
+        stderr.contains("> core.from_dir"),
         "trace names stages: {stderr}"
     );
     // Telemetry is stderr-only: stdout stays machine-diffable report text.
@@ -88,7 +88,7 @@ fn telemetry_json_flag_writes_valid_report() {
 
     for (path, stage) in [
         (&sim_json, "faultsim.run.time_us"),
-        (&diag_json, "core.from_archive.time_us"),
+        (&diag_json, "core.from_dir.time_us"),
     ] {
         let text = std::fs::read_to_string(path).expect("telemetry JSON written");
         let snap = hpc_node_failures::telemetry::Snapshot::from_json(&text)

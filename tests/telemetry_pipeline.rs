@@ -36,6 +36,11 @@ fn pipeline_run_populates_all_stage_metrics() {
         "core.ingest.parse.controller",
         "core.ingest.parse.erd",
         "core.ingest.parse.scheduler",
+        "core.ingest.chunk",
+        "core.ingest.stitch.console",
+        "core.ingest.stitch.controller",
+        "core.ingest.stitch.erd",
+        "core.ingest.stitch.scheduler",
         "core.ingest.merge",
         "core.detect",
         "core.swo.partition",
@@ -84,7 +89,13 @@ fn pipeline_run_populates_all_stage_metrics() {
         Some(out.timeline.jobs().len() as u64)
     );
     assert!(snap.gauge("faultsim.wall_us_per_sim_day").unwrap() > 0.0);
-    assert_eq!(snap.gauge("core.ingest.threads"), Some(4.0));
+    // The gauge reports the real ingest pool width (machine-sized unless
+    // overridden), not the old hard-coded one-thread-per-source 4.
+    assert_eq!(
+        snap.gauge("core.ingest.threads"),
+        Some(Diagnosis::ingest_threads(&DiagnosisConfig::default()) as f64)
+    );
+    assert!(snap.counter("core.ingest.chunk.calls").unwrap() >= 1);
 
     // The per-family event counters cover the whole injected population.
     let family_total: u64 = snap
