@@ -1,0 +1,108 @@
+//! Streaming-engine benchmarks: sustained line throughput and the memory
+//! effect of the sliding window.
+//!
+//! Two questions an operator sizing `hpc-watch` asks:
+//!
+//! * how many lines per second does one engine sustain end-to-end (merge,
+//!   window, detect, predict)?
+//! * how does the retained window state scale with the configured window
+//!   length — i.e. is memory really O(window), not O(history)?
+//!
+//! The second is also asserted functionally in `tests/stream_smoke.rs`;
+//! here it shows up as the `window-mins/*` peak-retained throughput cost.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use hpc_diagnosis::prediction::PredictorConfig;
+use hpc_faultsim::Scenario;
+use hpc_logs::event::LogSource;
+use hpc_logs::parse::split_timestamp;
+use hpc_logs::time::{SimDuration, SimTime};
+use hpc_platform::SystemId;
+use hpc_stream::{StreamConfig, StreamEngine};
+
+/// The four streams interleaved in global timestamp order — live arrival
+/// order — precomputed so the timed loop measures only the engine.
+fn aligned_lines(archive: &hpc_logs::LogArchive) -> Vec<(LogSource, String)> {
+    let lines: Vec<&[String]> = LogSource::ALL.iter().map(|&s| archive.lines(s)).collect();
+    let mut idx = [0usize; 4];
+    let mut clock = [SimTime::EPOCH; 4];
+    let mut out = Vec::with_capacity(lines.iter().map(|l| l.len()).sum());
+    loop {
+        let mut best: Option<(SimTime, usize)> = None;
+        for si in 0..4 {
+            let Some(line) = lines[si].get(idx[si]) else {
+                continue;
+            };
+            let t = split_timestamp(line).map_or(clock[si], |(t, _)| t);
+            if best.is_none_or(|b| (t, si) < b) {
+                best = Some((t, si));
+            }
+        }
+        let Some((t, si)) = best else { break };
+        clock[si] = t;
+        out.push((LogSource::ALL[si], lines[si][idx[si]].clone()));
+        idx[si] += 1;
+    }
+    out
+}
+
+fn feed() -> Vec<(LogSource, String)> {
+    aligned_lines(&Scenario::new(SystemId::S1, 2, 3, 1).run().archive)
+}
+
+fn replay(lines: &[(LogSource, String)], config: StreamConfig) -> StreamEngine {
+    let mut engine = StreamEngine::new(config);
+    for (source, line) in lines {
+        engine.push_line(*source, line);
+    }
+    engine.finish();
+    engine
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    let lines = feed();
+    let mut group = c.benchmark_group("stream/throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(lines.len() as u64));
+    for require_external in [false, true] {
+        let label = if require_external {
+            "externally-gated"
+        } else {
+            "internal-only"
+        };
+        let config = StreamConfig {
+            predictor: PredictorConfig {
+                require_external,
+                ..PredictorConfig::default()
+            },
+            ..StreamConfig::default()
+        };
+        group.bench_function(label, |b| b.iter(|| replay(&lines, config)));
+    }
+    group.finish();
+}
+
+fn bench_window_length(c: &mut Criterion) {
+    // Window-length sweep: longer windows retain more and evict later.
+    // The peak retained count (reported per run) is the memory story; the
+    // measured time shows the processing cost staying near-flat.
+    let lines = feed();
+    let mut group = c.benchmark_group("stream/window-mins");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(lines.len() as u64));
+    for mins in [120u64, 360, 1440] {
+        let config = StreamConfig {
+            window: SimDuration::from_mins(mins),
+            ..StreamConfig::default()
+        };
+        let peak = replay(&lines, config).stats().window_peak;
+        group.bench_function(format!("{mins} (peak {peak} events)"), |b| {
+            b.iter(|| replay(&lines, config))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput, bench_window_length);
+criterion_main!(benches);

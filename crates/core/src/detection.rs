@@ -13,8 +13,6 @@
 //! terminal signatures of one incident (a panic followed by the scheduler's
 //! `down` notice) are deduplicated into a single failure.
 
-use std::collections::BTreeMap;
-
 use serde::{Deserialize, Serialize};
 
 use hpc_logs::event::{ConsoleDetail, LogEvent, NodeState, PanicReason, Payload, SchedulerDetail};
@@ -47,7 +45,7 @@ pub struct DetectedFailure {
 }
 
 /// Terminal signatures of one event, if any.
-fn terminal_of(event: &LogEvent) -> Option<(NodeId, TerminalKind)> {
+pub fn terminal_of(event: &LogEvent) -> Option<(NodeId, TerminalKind)> {
     match &event.payload {
         Payload::Console { node, detail } => match detail {
             ConsoleDetail::KernelPanic { reason } => Some((*node, TerminalKind::Panic(*reason))),
@@ -72,6 +70,89 @@ fn terminal_of(event: &LogEvent) -> Option<(NodeId, TerminalKind)> {
 /// a minute later).
 pub const DEDUP_WINDOW: SimDuration = SimDuration::from_mins(10);
 
+/// Incremental failure detector: the streaming core of
+/// [`detect_failures`], usable one event at a time.
+///
+/// Dedup state is one *open incident* per node. A terminal signature within
+/// [`DEDUP_WINDOW`] of the node's open incident folds into it (with the
+/// `SchedulerDown` upgrade rule); a later signature finalises the open
+/// incident and starts a new one. An open incident becomes immutable — and
+/// safe to emit — once the stream clock passes its time by more than
+/// [`DEDUP_WINDOW`]; [`IncrementalDetector::advance`] performs that
+/// finalisation so a live monitor can report failures with bounded delay
+/// and bounded memory (at most one open incident per node).
+#[derive(Debug, Default)]
+pub struct IncrementalDetector {
+    open: std::collections::HashMap<NodeId, DetectedFailure>,
+}
+
+impl IncrementalDetector {
+    /// Fresh detector with no open incidents.
+    pub fn new() -> IncrementalDetector {
+        IncrementalDetector::default()
+    }
+
+    /// Feeds the next chronological event. If it starts a new incident on a
+    /// node that already had an open one, the superseded (now final)
+    /// incident is returned.
+    pub fn push(&mut self, event: &LogEvent) -> Option<DetectedFailure> {
+        let (node, terminal) = terminal_of(event)?;
+        if let Some(open) = self.open.get_mut(&node) {
+            if event.time.since(open.time) <= DEDUP_WINDOW {
+                // Same incident: upgrade a bare scheduler-down to the more
+                // specific signature if it arrives late (defensive; the
+                // usual order is panic first).
+                if open.terminal == TerminalKind::SchedulerDown
+                    && terminal != TerminalKind::SchedulerDown
+                {
+                    open.terminal = terminal;
+                }
+                return None;
+            }
+        }
+        self.open.insert(
+            node,
+            DetectedFailure {
+                node,
+                time: event.time,
+                terminal,
+            },
+        )
+    }
+
+    /// Finalises every open incident the stream clock has moved past
+    /// (`now - incident.time > DEDUP_WINDOW`), appending them to `out` in
+    /// (time, node) order.
+    pub fn advance(&mut self, now: SimTime, out: &mut Vec<DetectedFailure>) {
+        if self.open.is_empty() {
+            return;
+        }
+        let start = out.len();
+        self.open.retain(|_, f| {
+            if now.since(f.time) > DEDUP_WINDOW {
+                out.push(*f);
+                false
+            } else {
+                true
+            }
+        });
+        out[start..].sort_by_key(|f| (f.time, f.node));
+    }
+
+    /// Finalises all remaining open incidents (end of stream), appending
+    /// them to `out` in (time, node) order.
+    pub fn finish(&mut self, out: &mut Vec<DetectedFailure>) {
+        let start = out.len();
+        out.extend(self.open.drain().map(|(_, f)| f));
+        out[start..].sort_by_key(|f| (f.time, f.node));
+    }
+
+    /// Open (not yet finalised) incidents.
+    pub fn open_incidents(&self) -> usize {
+        self.open.len()
+    }
+}
+
 /// Detects failures in a chronological event stream.
 ///
 /// Console terminals are preferred over the scheduler's `down` echo: within
@@ -85,31 +166,12 @@ pub fn detect_failures(events: &[LogEvent]) -> Vec<DetectedFailure> {
         events.windows(2).all(|w| w[0].time <= w[1].time),
         "detect_failures expects chronological input"
     );
-    let mut per_node: BTreeMap<NodeId, Vec<DetectedFailure>> = BTreeMap::new();
+    let mut detector = IncrementalDetector::new();
+    let mut all = Vec::new();
     for event in events {
-        let Some((node, terminal)) = terminal_of(event) else {
-            continue;
-        };
-        let list = per_node.entry(node).or_default();
-        match list.last_mut() {
-            Some(last) if event.time.since(last.time) <= DEDUP_WINDOW => {
-                // Same incident: upgrade a bare scheduler-down to the more
-                // specific signature if it arrives late (defensive; the
-                // usual order is panic first).
-                if last.terminal == TerminalKind::SchedulerDown
-                    && terminal != TerminalKind::SchedulerDown
-                {
-                    last.terminal = terminal;
-                }
-            }
-            _ => list.push(DetectedFailure {
-                node,
-                time: event.time,
-                terminal,
-            }),
-        }
+        all.extend(detector.push(event));
     }
-    let mut all: Vec<DetectedFailure> = per_node.into_values().flatten().collect();
+    detector.finish(&mut all);
     all.sort_by_key(|f| (f.time, f.node));
     all
 }
@@ -220,6 +282,69 @@ mod tests {
             panic_ev(1, 2, PanicReason::FatalMce),
         ];
         assert_eq!(detect_failures(&events).len(), 2);
+    }
+
+    #[test]
+    fn incremental_push_finalizes_superseded_incident() {
+        let gap = DEDUP_WINDOW.as_millis() + 1;
+        let mut det = IncrementalDetector::new();
+        assert!(det
+            .push(&panic_ev(1_000, 7, PanicReason::FatalMce))
+            .is_none());
+        assert_eq!(det.open_incidents(), 1);
+        // Within the window: folds into the open incident.
+        assert!(det.push(&state_ev(61_000, 7, NodeState::Down)).is_none());
+        // Beyond the window: the open incident is final and returned.
+        let done = det
+            .push(&panic_ev(1_000 + gap, 7, PanicReason::KernelBug))
+            .expect("superseded incident finalised");
+        assert_eq!(done.time, SimTime::from_millis(1_000));
+        assert_eq!(done.terminal, TerminalKind::Panic(PanicReason::FatalMce));
+        assert_eq!(det.open_incidents(), 1);
+    }
+
+    #[test]
+    fn incremental_advance_finalizes_only_past_window() {
+        let mut det = IncrementalDetector::new();
+        det.push(&panic_ev(0, 1, PanicReason::FatalMce));
+        det.push(&panic_ev(5_000, 2, PanicReason::KernelBug));
+        let mut out = Vec::new();
+        // Clock just past node 1's window but not node 2's.
+        det.advance(SimTime::from_millis(DEDUP_WINDOW.as_millis() + 1), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].node, NodeId(1));
+        assert_eq!(det.open_incidents(), 1);
+        det.finish(&mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[1].node, NodeId(2));
+    }
+
+    #[test]
+    fn incremental_matches_batch_on_interleaved_stream() {
+        // A busy stream: two incidents per node, scheduler echoes, graceful
+        // shutdowns. Incremental push/advance/finish must equal the batch
+        // function output exactly.
+        let gap = DEDUP_WINDOW.as_millis();
+        let mut events = vec![
+            panic_ev(0, 1, PanicReason::FatalMce),
+            state_ev(100, 1, NodeState::Down),
+            graceful_ev(200, 3),
+            state_ev(1_000, 2, NodeState::Down),
+            panic_ev(2_000, 2, PanicReason::LustreBug),
+            panic_ev(gap + 5_000, 1, PanicReason::KernelBug),
+            state_ev(2 * gap + 10_000, 2, NodeState::AdminDown),
+        ];
+        events.sort_by_key(|e| e.time);
+        let batch = detect_failures(&events);
+        let mut streamed = Vec::new();
+        let mut det = IncrementalDetector::new();
+        for e in &events {
+            streamed.extend(det.push(e));
+            det.advance(e.time, &mut streamed);
+        }
+        det.finish(&mut streamed);
+        streamed.sort_by_key(|f| (f.time, f.node));
+        assert_eq!(streamed, batch);
     }
 
     #[test]

@@ -32,7 +32,10 @@ pub struct PredictorConfig {
     /// How long an alert remains valid: a failure within this horizon
     /// counts as predicted.
     pub horizon: SimDuration,
-    /// Minimum spacing between alerts per node (debounce).
+    /// Minimum spacing between alerts per node (debounce). The boundary is
+    /// inclusive: a symptom landing *exactly* `debounce` after the previous
+    /// alert is allowed to fire (`>=` semantics, pinned by the
+    /// `debounce_boundary_is_inclusive` regression test).
     pub debounce: SimDuration,
 }
 
@@ -183,6 +186,98 @@ fn is_strong_external(event: &hpc_logs::LogEvent) -> Option<NodeId> {
     }
 }
 
+/// How a single event can trigger the predictor, before debouncing and
+/// external gating are applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertTrigger {
+    /// A strong external indicator against this node (`ec_hw_error`, NVF,
+    /// `L0_sysd_mce`) — fires by itself in externally-correlated mode.
+    StrongExternal(NodeId),
+    /// A fault-indicative internal (console) symptom on this node — needs
+    /// external backing when `require_external` is set.
+    Internal(NodeId),
+}
+
+/// Classifies an event as a potential alert trigger.
+pub fn alert_trigger(event: &hpc_logs::LogEvent) -> Option<AlertTrigger> {
+    if let Some(node) = is_strong_external(event) {
+        Some(AlertTrigger::StrongExternal(node))
+    } else if is_indicative_internal(event) {
+        let node = event
+            .subject_node()
+            .expect("indicative events are console events");
+        Some(AlertTrigger::Internal(node))
+    } else {
+        None
+    }
+}
+
+/// The causal, debounced alerting core shared by the batch evaluator
+/// ([`raise_alerts`]) and the streaming engine (`hpc-stream`).
+///
+/// The raiser owns only the per-node debounce clocks; how external backing
+/// is looked up is the caller's business (a batch index or a sliding
+/// window), supplied as a closure that is consulted *only* for internal
+/// triggers.
+#[derive(Debug, Clone)]
+pub struct AlertRaiser {
+    config: PredictorConfig,
+    last_alert: std::collections::HashMap<NodeId, SimTime>,
+}
+
+impl AlertRaiser {
+    /// New raiser with no alert history.
+    pub fn new(config: PredictorConfig) -> AlertRaiser {
+        AlertRaiser {
+            config,
+            last_alert: Default::default(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &PredictorConfig {
+        &self.config
+    }
+
+    /// Offers the next chronological event. `backed` answers whether the
+    /// node's blade has an external correlate within
+    /// `[t - external_window, t]`; it is called only for internal triggers.
+    pub fn offer(
+        &mut self,
+        event: &hpc_logs::LogEvent,
+        backed: impl FnOnce(NodeId) -> bool,
+    ) -> Option<Alert> {
+        let (node, backed_by_external) = match alert_trigger(event)? {
+            AlertTrigger::StrongExternal(node) => {
+                if !self.config.require_external {
+                    // The internal-only baseline ignores external streams.
+                    return None;
+                }
+                (node, true)
+            }
+            AlertTrigger::Internal(node) => {
+                let backed = backed(node);
+                if self.config.require_external && !backed {
+                    return None;
+                }
+                (node, backed)
+            }
+        };
+        if let Some(prev) = self.last_alert.get(&node) {
+            // Inclusive boundary: exactly `debounce` later fires again.
+            if event.time.since(*prev) < self.config.debounce {
+                return None;
+            }
+        }
+        self.last_alert.insert(node, event.time);
+        Some(Alert {
+            node,
+            time: event.time,
+            backed_by_external,
+        })
+    }
+}
+
 /// Raises debounced alerts over the chronological event stream.
 ///
 /// In externally-correlated mode the predictor fires on two triggers:
@@ -191,50 +286,20 @@ fn is_strong_external(event: &hpc_logs::LogEvent) -> Option<NodeId> {
 /// symptom), or an internal symptom that has external backing in the
 /// window.
 pub fn raise_alerts(d: &Diagnosis, config: &PredictorConfig) -> Vec<Alert> {
+    let mut raiser = AlertRaiser::new(*config);
     let mut alerts = Vec::new();
-    let mut last_alert: std::collections::HashMap<NodeId, SimTime> = Default::default();
     for e in &d.events {
-        let (node, backed) = if let Some(node) = is_strong_external(e) {
-            if !config.require_external {
-                // The internal-only baseline ignores external streams.
-                continue;
-            }
-            (node, true)
-        } else if is_indicative_internal(e) {
-            let node = e
-                .subject_node()
-                .expect("indicative events are console events");
+        let alert = raiser.offer(e, |node| {
             let probe = DetectedFailure {
                 node,
                 time: e.time,
                 terminal: TerminalKind::SchedulerDown,
             };
             let ext_from = e.time.saturating_sub(config.external_window);
-            let backed = d
-                .blade_external_between(
-                    node.blade(),
-                    ext_from,
-                    e.time + SimDuration::from_millis(1),
-                )
-                .any(|x| is_external_indicator(x, &probe));
-            if config.require_external && !backed {
-                continue;
-            }
-            (node, backed)
-        } else {
-            continue;
-        };
-        if let Some(prev) = last_alert.get(&node) {
-            if e.time.since(*prev) < config.debounce {
-                continue;
-            }
-        }
-        last_alert.insert(node, e.time);
-        alerts.push(Alert {
-            node,
-            time: e.time,
-            backed_by_external: backed,
+            d.blade_external_between(node.blade(), ext_from, e.time + SimDuration::from_millis(1))
+                .any(|x| is_external_indicator(x, &probe))
         });
+        alerts.extend(alert);
     }
     alerts
 }
@@ -338,5 +403,99 @@ mod tests {
         assert!(ev.alerts.is_empty());
         assert_eq!(ev.precision(), 0.0);
         assert_eq!(ev.recall(), 0.0);
+    }
+
+    fn stall_ev(ms: u64, node: u32) -> hpc_logs::LogEvent {
+        use hpc_logs::event::{ConsoleDetail, Payload};
+        hpc_logs::LogEvent {
+            time: hpc_logs::SimTime::from_millis(ms),
+            payload: Payload::Console {
+                node: NodeId(node),
+                detail: ConsoleDetail::CpuStall { cpu: 0 },
+            },
+        }
+    }
+
+    #[test]
+    fn debounce_boundary_is_inclusive() {
+        // Regression pin: a symptom landing *exactly* `debounce` after the
+        // previous alert must be allowed to fire (>= semantics).
+        let cfg = PredictorConfig::default();
+        let deb = cfg.debounce.as_millis();
+        let at = |gap_ms: u64| {
+            let d = Diagnosis::from_events(
+                vec![stall_ev(0, 5), stall_ev(gap_ms, 5)],
+                0,
+                DiagnosisConfig::default(),
+            );
+            raise_alerts(&d, &cfg).len()
+        };
+        assert_eq!(at(deb), 2, "exactly-debounce symptom must alert");
+        assert_eq!(at(deb - 1), 1, "one ms inside the debounce is suppressed");
+        assert_eq!(at(deb + 1), 2);
+    }
+
+    #[test]
+    fn zero_denominator_corners_yield_zero_not_nan() {
+        // Alerts but zero failures: precision is 0/alerts, recall is 0/0.
+        let d = Diagnosis::from_events(vec![stall_ev(0, 1)], 0, DiagnosisConfig::default());
+        let ev = evaluate(&d, &PredictorConfig::default());
+        assert_eq!(ev.alerts.len(), 1);
+        assert!(d.failures.is_empty());
+        assert_eq!(ev.precision(), 0.0);
+        assert_eq!(ev.recall(), 0.0);
+        assert!(!ev.precision().is_nan() && !ev.recall().is_nan());
+        assert_eq!(ev.mean_lead_mins, 0.0);
+
+        // Failures but zero alerts: precision is 0/0, recall is 0/failures.
+        use hpc_logs::event::{ConsoleDetail, Payload};
+        let panic = hpc_logs::LogEvent {
+            time: hpc_logs::SimTime::from_millis(1_000),
+            payload: Payload::Console {
+                node: NodeId(2),
+                detail: ConsoleDetail::KernelPanic {
+                    reason: hpc_logs::event::PanicReason::FatalMce,
+                },
+            },
+        };
+        let d = Diagnosis::from_events(vec![panic], 0, DiagnosisConfig::default());
+        let ev = evaluate(&d, &PredictorConfig::default());
+        assert!(ev.alerts.is_empty());
+        assert_eq!(d.failures.len(), 1);
+        assert_eq!(ev.precision(), 0.0);
+        assert_eq!(ev.recall(), 0.0);
+        assert!(!ev.precision().is_nan() && !ev.recall().is_nan());
+        assert_eq!(ev.mean_lead_mins, 0.0);
+    }
+
+    #[test]
+    fn alert_raiser_matches_batch_raise_alerts() {
+        for require_external in [false, true] {
+            let d = diag(7);
+            let cfg = PredictorConfig {
+                require_external,
+                ..PredictorConfig::default()
+            };
+            let batch = raise_alerts(&d, &cfg);
+            let mut raiser = AlertRaiser::new(cfg);
+            let mut streamed = Vec::new();
+            for e in &d.events {
+                streamed.extend(raiser.offer(e, |node| {
+                    let probe = DetectedFailure {
+                        node,
+                        time: e.time,
+                        terminal: TerminalKind::SchedulerDown,
+                    };
+                    let ext_from = e.time.saturating_sub(cfg.external_window);
+                    d.blade_external_between(
+                        node.blade(),
+                        ext_from,
+                        e.time + SimDuration::from_millis(1),
+                    )
+                    .any(|x| is_external_indicator(x, &probe))
+                }));
+            }
+            assert_eq!(streamed, batch, "require_external={require_external}");
+        }
     }
 }

@@ -199,6 +199,22 @@ impl LogParser {
         drain_pending(&mut self.pending, out);
     }
 
+    /// Earliest timestamp among still-open multi-line reports, if any.
+    ///
+    /// An open oops/hung-task report completes *late* — when the next
+    /// non-trace line from its node arrives — but carries this earlier
+    /// timestamp. A live merger must therefore hold its release point at or
+    /// below the earliest pending time, or the completion would appear to
+    /// travel back past the watermark.
+    pub fn earliest_pending_time(&self) -> Option<SimTime> {
+        self.pending.values().map(|p| p.time).min()
+    }
+
+    /// Number of open (buffered) multi-line reports.
+    pub fn pending_reports(&self) -> usize {
+        self.pending.len()
+    }
+
     /// Convenience: parses an entire in-memory stream and returns the events
     /// plus the number of unrecognised lines.
     ///
@@ -647,8 +663,32 @@ fn parse_scheduler_payload(rest: &str) -> Option<SchedulerDetail> {
     None
 }
 
+/// Guesses which of the four streams a log line belongs to from its
+/// envelope, for consumers fed a single pre-merged stream (`--stdin`) with
+/// no per-file provenance. Returns `None` for lines without a recognisable
+/// envelope — callers should count those as skipped.
+pub fn guess_source(line: &str) -> Option<LogSource> {
+    let (_, rest) = split_timestamp(line)?;
+    if rest.starts_with("erd: ") {
+        return Some(LogSource::Erd);
+    }
+    if rest.starts_with("slurmctld: ") || rest.starts_with("pbs_server: ") {
+        return Some(LogSource::Scheduler);
+    }
+    // "<cname> kernel: …" / "<cname> bc: …" / "<cname> cc: …"
+    let (_, tail) = rest.split_once(' ')?;
+    if tail.starts_with("kernel: ") {
+        Some(LogSource::Console)
+    } else if tail.starts_with("bc: ") || tail.starts_with("cc: ") {
+        Some(LogSource::Controller)
+    } else {
+        None
+    }
+}
+
 /// Splits the leading 23-char timestamp plus one space from a line.
-pub(crate) fn split_timestamp(line: &str) -> Option<(SimTime, &str)> {
+/// Public for stream consumers that track per-source clocks from raw lines.
+pub fn split_timestamp(line: &str) -> Option<(SimTime, &str)> {
     if line.len() < 25 {
         return None;
     }
@@ -1010,6 +1050,126 @@ mod tests {
         let (events, skipped) = LogParser::parse_stream(LogSource::Console, refs);
         assert_eq!(events, vec![ev]);
         assert_eq!(skipped, 0);
+    }
+
+    #[test]
+    fn guess_source_recognises_all_stream_envelopes() {
+        use crate::event::*;
+        let events = vec![
+            LogEvent {
+                time: SimTime::from_millis(1),
+                payload: Payload::Console {
+                    node: NodeId(3),
+                    detail: ConsoleDetail::DiskError,
+                },
+            },
+            LogEvent {
+                time: SimTime::from_millis(2),
+                payload: Payload::Controller {
+                    scope: ControllerScope::Blade(BladeId(1)),
+                    detail: ControllerDetail::BcHeartbeatFault,
+                },
+            },
+            LogEvent {
+                time: SimTime::from_millis(3),
+                payload: Payload::Controller {
+                    scope: ControllerScope::Cabinet(CabinetId(0)),
+                    detail: ControllerDetail::CabinetPowerFault,
+                },
+            },
+            LogEvent {
+                time: SimTime::from_millis(4),
+                payload: Payload::Erd {
+                    scope: ControllerScope::Blade(BladeId(2)),
+                    detail: ErdDetail::L0Failed,
+                },
+            },
+            LogEvent {
+                time: SimTime::from_millis(5),
+                payload: Payload::Scheduler {
+                    detail: SchedulerDetail::NodeStateChange {
+                        node: NodeId(9),
+                        state: NodeState::Down,
+                    },
+                },
+            },
+        ];
+        for scheduler in [SchedulerKind::Slurm, SchedulerKind::Torque] {
+            for e in &events {
+                for line in render(e, scheduler) {
+                    assert_eq!(
+                        guess_source(&line),
+                        Some(e.source()),
+                        "line {line:?} of {e:?}"
+                    );
+                }
+            }
+        }
+        // Multi-line trace continuations carry the console envelope too.
+        let oops = LogEvent {
+            time: SimTime::from_millis(9),
+            payload: Payload::Console {
+                node: NodeId(7),
+                detail: ConsoleDetail::KernelOops {
+                    cause: OopsCause::NullDeref,
+                    modules: vec![StackModule::MceLog],
+                },
+            },
+        };
+        let lines = render(&oops, SchedulerKind::Slurm);
+        assert!(lines.len() > 1);
+        for line in &lines {
+            assert_eq!(guess_source(line), Some(LogSource::Console));
+        }
+        assert_eq!(guess_source("not a log line"), None);
+        assert_eq!(
+            guess_source("2016-01-01T00:00:00.000 mystery chatter"),
+            None
+        );
+    }
+
+    #[test]
+    fn earliest_pending_time_tracks_open_reports() {
+        use crate::event::*;
+        let mut parser = LogParser::new();
+        let mut out = Vec::new();
+        assert_eq!(parser.earliest_pending_time(), None);
+        assert_eq!(parser.pending_reports(), 0);
+        let a = LogEvent {
+            time: SimTime::from_millis(2_000),
+            payload: Payload::Console {
+                node: NodeId(0),
+                detail: ConsoleDetail::KernelOops {
+                    cause: OopsCause::PagingRequest,
+                    modules: vec![StackModule::LdlmBl],
+                },
+            },
+        };
+        let b = LogEvent {
+            time: SimTime::from_millis(3_000),
+            payload: Payload::Console {
+                node: NodeId(1),
+                detail: ConsoleDetail::KernelOops {
+                    cause: OopsCause::NullDeref,
+                    modules: vec![StackModule::MceLog],
+                },
+            },
+        };
+        for line in render(&a, SchedulerKind::Slurm) {
+            parser.parse_line(LogSource::Console, &line, &mut out);
+        }
+        for line in render(&b, SchedulerKind::Slurm) {
+            parser.parse_line(LogSource::Console, &line, &mut out);
+        }
+        // Both reports are still open; the earliest pending time is a's.
+        assert_eq!(parser.pending_reports(), 2);
+        assert_eq!(
+            parser.earliest_pending_time(),
+            Some(SimTime::from_millis(2_000))
+        );
+        parser.finish(&mut out);
+        assert_eq!(parser.earliest_pending_time(), None);
+        assert_eq!(out, vec![a, b]);
     }
 
     #[test]

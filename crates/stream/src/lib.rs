@@ -1,0 +1,46 @@
+//! # hpc-stream
+//!
+//! Bounded-memory *online* diagnosis over live log streams — the paper's
+//! operational payoff (Obs. 5: lead-time enhancement and FPR reduction)
+//! turned from a post-mortem batch pipeline into a monitoring system.
+//!
+//! ```text
+//!   live lines ──► merger   (per-source parsers, watermark, time order)
+//!                   └─► engine (cohorts) ──► window   (sliding O(window) state)
+//!                                           ├─► detect  (incremental dedup)
+//!                                           ├─► predict (AlertRaiser, causal)
+//!                                           └─► sinks   (text / JSONL)
+//! ```
+//!
+//! Modules:
+//!
+//! * [`merger`] — incremental multi-source merge: feeds raw lines to the
+//!   four stateful `hpc-logs` parsers (multi-line trace continuation
+//!   included), admits out-of-order lines within a configurable watermark,
+//!   and releases one time-ordered event stream that reproduces the batch
+//!   pipeline's merge order exactly.
+//! * [`window`] — sliding-window state: per-node indicator ring buffers,
+//!   per-blade/cabinet external-event hotness, eviction past the window so
+//!   memory is O(window), not O(history).
+//! * [`engine`] — [`engine::StreamEngine`]: incremental failure detection
+//!   and the `PredictorConfig` predictor rehosted on the stream, with
+//!   per-alert lead-time bookkeeping.
+//! * [`sink`] — pluggable alert sinks (stderr text, JSONL).
+//! * [`follow`] — polling directory tailer for `hpc-watch --follow`.
+//!
+//! The replay guarantee (tested in `tests/equivalence.rs`): feeding a
+//! finished archive through the engine and calling
+//! [`engine::StreamEngine::finish`] yields the same detected-failure set
+//! and the same alert set as the batch [`hpc_diagnosis::Diagnosis`] path,
+//! for external gating on and off.
+
+pub mod engine;
+pub mod follow;
+pub mod merger;
+pub mod sink;
+pub mod window;
+
+pub use engine::{StreamConfig, StreamEngine, StreamStats};
+pub use merger::StreamMerger;
+pub use sink::{AlertSink, JsonlSink, TextSink};
+pub use window::SlidingWindow;

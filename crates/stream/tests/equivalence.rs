@@ -1,0 +1,161 @@
+//! Streaming-vs-batch equivalence: replaying a finished two-week S1
+//! archive through [`StreamEngine`] yields the same detected-failure set
+//! and the same alert set as the batch [`Diagnosis`] pipeline, for
+//! external gating both off and on.
+//!
+//! Two arrival patterns are exercised:
+//!
+//! * **time-aligned** — lines arrive globally ordered by timestamp, the
+//!   way a live multiplexed feed would deliver them, under the default
+//!   10-minute watermark;
+//! * **source-sequential** — each stream arrives whole, one after another
+//!   (maximum cross-source skew), under a watermark wider than the whole
+//!   archive, forcing the merger to buffer and re-order everything.
+//!
+//! Both must drop nothing (`late_events == 0`) and reproduce the batch
+//! results exactly.
+
+use std::sync::OnceLock;
+
+use hpc_diagnosis::prediction::{raise_alerts, PredictorConfig};
+use hpc_diagnosis::{Diagnosis, DiagnosisConfig};
+use hpc_faultsim::Scenario;
+use hpc_logs::parse::split_timestamp;
+use hpc_logs::time::{SimDuration, SimTime};
+use hpc_logs::{LogArchive, LogSource};
+use hpc_platform::SystemId;
+use hpc_stream::{StreamConfig, StreamEngine};
+
+struct Fixture {
+    archive: LogArchive,
+    batch: Diagnosis,
+}
+
+fn fixture() -> &'static Fixture {
+    static FX: OnceLock<Fixture> = OnceLock::new();
+    FX.get_or_init(|| {
+        let out = Scenario::new(SystemId::S1, 2, 14, 42).run();
+        // SWO exclusion is a batch post-pass over the whole window; the
+        // online engine reproduces raw detection, so compare against that.
+        let config = DiagnosisConfig {
+            exclude_swos: false,
+            ..DiagnosisConfig::default()
+        };
+        let batch = Diagnosis::from_archive(&out.archive, config);
+        Fixture {
+            archive: out.archive,
+            batch,
+        }
+    })
+}
+
+/// Feeds lines in global timestamp order with per-source FIFO preserved —
+/// the arrival order of a live merged feed.
+fn feed_time_aligned(engine: &mut StreamEngine, archive: &LogArchive) {
+    let lines: Vec<&[String]> = LogSource::ALL.iter().map(|&s| archive.lines(s)).collect();
+    let mut idx = [0usize; 4];
+    let mut clock = [SimTime::EPOCH; 4];
+    loop {
+        let mut best: Option<(SimTime, usize)> = None;
+        for si in 0..4 {
+            let Some(line) = lines[si].get(idx[si]) else {
+                continue;
+            };
+            let t = split_timestamp(line).map_or(clock[si], |(t, _)| t);
+            if best.is_none_or(|b| (t, si) < b) {
+                best = Some((t, si));
+            }
+        }
+        let Some((t, si)) = best else { break };
+        clock[si] = t;
+        engine.push_line(LogSource::ALL[si], &lines[si][idx[si]]);
+        idx[si] += 1;
+    }
+    for source in LogSource::ALL {
+        engine.finish_source(source);
+    }
+}
+
+/// Feeds each stream whole, one source after another — worst-case skew.
+fn feed_source_sequential(engine: &mut StreamEngine, archive: &LogArchive) {
+    for source in LogSource::ALL {
+        for line in archive.lines(source) {
+            engine.push_line(source, line);
+        }
+        engine.finish_source(source);
+    }
+}
+
+fn assert_equivalent(engine: &StreamEngine, batch: &Diagnosis, predictor: &PredictorConfig) {
+    let stats = engine.stats();
+    assert_eq!(stats.late_events, 0, "no event may be dropped as late");
+    assert_eq!(
+        engine.failures(),
+        batch.failures.as_slice(),
+        "streamed failures must equal batch detection"
+    );
+    let batch_alerts = raise_alerts(batch, predictor);
+    assert_eq!(
+        engine.alerts(),
+        batch_alerts.as_slice(),
+        "streamed alerts must equal batch raise_alerts \
+         (require_external={})",
+        predictor.require_external
+    );
+    assert!(stats.events > 0 && stats.failures > 0 && stats.alerts > 0);
+}
+
+fn run(feed: impl Fn(&mut StreamEngine, &LogArchive), config: StreamConfig) {
+    let fx = fixture();
+    for require_external in [false, true] {
+        let config = StreamConfig {
+            predictor: PredictorConfig {
+                require_external,
+                ..config.predictor
+            },
+            ..config
+        };
+        let mut engine = StreamEngine::new(config);
+        feed(&mut engine, &fx.archive);
+        engine.finish();
+        let predictor = engine.config().predictor;
+        assert_equivalent(&engine, &fx.batch, &predictor);
+    }
+}
+
+#[test]
+fn time_aligned_replay_matches_batch() {
+    run(feed_time_aligned, StreamConfig::default());
+}
+
+#[test]
+fn source_sequential_replay_matches_batch_under_wide_watermark() {
+    run(
+        feed_source_sequential,
+        StreamConfig {
+            watermark: SimDuration::from_days(15),
+            ..StreamConfig::default()
+        },
+    );
+}
+
+#[test]
+fn window_memory_stays_bounded_during_replay() {
+    // The time-aligned replay must keep the retained window well below the
+    // total relevant-event population: eviction actually fires.
+    let fx = fixture();
+    let mut engine = StreamEngine::new(StreamConfig::default());
+    feed_time_aligned(&mut engine, &fx.archive);
+    engine.finish();
+    let stats = engine.stats();
+    assert!(stats.window_evicted > 0, "eviction never fired");
+    // The peak retained set is far smaller than everything that passed
+    // through the window over two weeks.
+    let total = stats.window_evicted + stats.window_events as u64;
+    assert!(
+        (stats.window_peak as u64) < total,
+        "peak {} vs total through-window {}",
+        stats.window_peak,
+        total
+    );
+}

@@ -5,16 +5,29 @@
 //!
 //! ```text
 //! hpc-diagnose <log-dir> [--verbose] [--telemetry-json <path>]
+//! hpc-diagnose --stdin   [--verbose] [--telemetry-json <path>]
 //! cargo run --release --bin hpc-diagnose -- /tmp/logs
+//! cat console controller.log | hpc-diagnose --stdin
 //! ```
+//!
+//! With `--stdin` the four streams arrive pre-merged on standard input, in
+//! any interleaving; each line is routed to its parser by envelope sniffing
+//! (`guess_source`). Lines with no recognisable envelope are handed to the
+//! console parser, which counts them as skipped.
 //!
 //! The report goes to stdout; progress, warnings and the per-stage
 //! telemetry table go to stderr. `--verbose` (or `HPC_TRACE=1`) adds a
 //! nested enter/exit trace of every instrumented stage, and
 //! `--telemetry-json` writes the full metric registry as JSON.
 
+use std::io::BufRead;
 use std::path::Path;
 use std::process::exit;
+
+use hpc_node_failures::logs::event::LogSource;
+use hpc_node_failures::logs::parse::guess_source;
+use hpc_node_failures::logs::LogArchive;
+use hpc_node_failures::platform::system::SchedulerKind;
 
 use hpc_node_failures::diagnosis::advisor::{advise, render_advisories};
 use hpc_node_failures::diagnosis::jobs::JobLog;
@@ -25,17 +38,32 @@ use hpc_node_failures::diagnosis::{Diagnosis, DiagnosisConfig};
 use hpc_node_failures::telemetry;
 
 fn usage() -> ! {
-    eprintln!("usage: hpc-diagnose <log-dir> [--verbose] [--telemetry-json <path>]");
+    eprintln!("usage: hpc-diagnose (<log-dir> | --stdin) [--verbose] [--telemetry-json <path>]");
     exit(2)
+}
+
+/// Reads a pre-merged log stream from stdin into an archive, routing each
+/// line to its source stream by envelope sniffing.
+fn archive_from_stdin() -> LogArchive {
+    let mut archive = LogArchive::new(SchedulerKind::Slurm);
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        let source = guess_source(&line).unwrap_or(LogSource::Console);
+        archive.push_raw_line(source, line);
+    }
+    archive
 }
 
 fn main() {
     let mut telemetry_json: Option<String> = None;
+    let mut from_stdin = false;
     let mut positional = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--verbose" => telemetry::set_trace(true),
+            "--stdin" => from_stdin = true,
             "--telemetry-json" => match args.next() {
                 Some(path) => telemetry_json = Some(path),
                 None => usage(),
@@ -44,27 +72,37 @@ fn main() {
             _ => positional.push(arg),
         }
     }
-    let Some(dir) = positional.first() else {
-        usage()
-    };
+    if from_stdin != positional.is_empty() {
+        // Exactly one input: a directory, or the merged stream on stdin.
+        usage();
+    }
     let config = DiagnosisConfig::default();
-    eprintln!(
-        "streaming logs from {dir} with {} ingest threads ...",
-        Diagnosis::ingest_threads(&config)
-    );
-    // Stream the archive through the pooled ingest: raw text in memory
-    // stays bounded by one batch per stream, instead of load_archive
-    // materialising every line of all four files up front.
-    let d = match Diagnosis::from_dir(Path::new(dir), config) {
-        Ok(d) => d,
-        Err(e) => {
-            eprintln!("cannot load {dir}: {e}");
-            exit(1);
+    let origin;
+    let d = if from_stdin {
+        origin = "stdin".to_string();
+        eprintln!("reading merged log stream from stdin ...");
+        Diagnosis::from_archive(&archive_from_stdin(), config)
+    } else {
+        let dir = positional.first().expect("checked above");
+        origin = dir.clone();
+        eprintln!(
+            "streaming logs from {dir} with {} ingest threads ...",
+            Diagnosis::ingest_threads(&config)
+        );
+        // Stream the archive through the pooled ingest: raw text in memory
+        // stays bounded by one batch per stream, instead of load_archive
+        // materialising every line of all four files up front.
+        match Diagnosis::from_dir(Path::new(dir), config) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("cannot load {dir}: {e}");
+                exit(1);
+            }
         }
     };
     let snapshot_lines = telemetry::snapshot().counter("ingest.lines").unwrap_or(0);
     if snapshot_lines == 0 {
-        eprintln!("no log lines found under {dir}");
+        eprintln!("no log lines found in {origin}");
         exit(1);
     }
     if d.skipped_lines > 0 {

@@ -1,0 +1,231 @@
+//! Live, bounded-memory diagnosis over a log stream.
+//!
+//! ```text
+//! hpc-watch --stdin [options]                # merged lines on stdin
+//! hpc-watch --follow <log-dir> [options]     # tail an archive directory
+//!
+//! options:
+//!   --require-external        gate alerts on external correlation
+//!   --watermark-mins <n>      out-of-order admission bound (default 10)
+//!   --window-mins <n>         sliding-window retention (default 360)
+//!   --poll-ms <n>             idle poll interval (default 200)
+//!   --alerts-jsonl <path>     append alerts/failures as JSON lines
+//!   --quiet                   no per-alert text on stderr
+//!   --telemetry-json <path>   write the metric registry as JSON on exit
+//!   --verbose                 stage trace on stderr
+//! ```
+//!
+//! In `--stdin` mode each line is routed to its parser by envelope sniffing
+//! (`guess_source`), so the four streams can be interleaved arbitrarily —
+//! `cat console controller erd slurmctld.log | sort -s -k1,2` works, and so
+//! does any line-granular multiplexer. In `--follow` mode the four
+//! conventional files under the directory are tailed like `tail -F`.
+//!
+//! SIGINT/SIGTERM trigger a graceful finish: buffered events drain, open
+//! incidents finalize, sinks flush, the summary prints, exit code 0.
+
+use std::io::BufRead;
+use std::path::PathBuf;
+use std::process::exit;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::time::Duration;
+
+use hpc_node_failures::logs::event::LogSource;
+use hpc_node_failures::logs::parse::guess_source;
+use hpc_node_failures::logs::time::SimDuration;
+use hpc_node_failures::stream::{JsonlSink, StreamConfig, StreamEngine, TextSink};
+use hpc_node_failures::telemetry;
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    type Handler = extern "C" fn(i32);
+    extern "C" {
+        fn signal(signum: i32, handler: Handler) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+fn shutting_down() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: hpc-watch (--stdin | --follow <log-dir>) [--require-external] \
+         [--watermark-mins <n>] [--window-mins <n>] [--poll-ms <n>] \
+         [--alerts-jsonl <path>] [--quiet] [--telemetry-json <path>] [--verbose]"
+    );
+    exit(2)
+}
+
+struct Options {
+    follow: Option<PathBuf>,
+    stdin: bool,
+    config: StreamConfig,
+    poll: Duration,
+    alerts_jsonl: Option<String>,
+    quiet: bool,
+    telemetry_json: Option<String>,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        follow: None,
+        stdin: false,
+        config: StreamConfig::default(),
+        poll: Duration::from_millis(200),
+        alerts_jsonl: None,
+        quiet: false,
+        telemetry_json: None,
+    };
+    let mut args = std::env::args().skip(1);
+    let value = |args: &mut dyn Iterator<Item = String>| args.next().unwrap_or_else(|| usage());
+    let number = |s: String| s.parse::<u64>().unwrap_or_else(|_| usage());
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--stdin" => opts.stdin = true,
+            "--follow" => opts.follow = Some(PathBuf::from(value(&mut args))),
+            "--require-external" => opts.config.predictor.require_external = true,
+            "--watermark-mins" => {
+                opts.config.watermark = SimDuration::from_mins(number(value(&mut args)));
+            }
+            "--window-mins" => {
+                opts.config.window = SimDuration::from_mins(number(value(&mut args)));
+            }
+            "--poll-ms" => opts.poll = Duration::from_millis(number(value(&mut args))),
+            "--alerts-jsonl" => opts.alerts_jsonl = Some(value(&mut args)),
+            "--quiet" => opts.quiet = true,
+            "--telemetry-json" => opts.telemetry_json = Some(value(&mut args)),
+            "--verbose" => telemetry::set_trace(true),
+            _ => usage(),
+        }
+    }
+    if opts.stdin == opts.follow.is_some() {
+        // Exactly one input mode.
+        usage();
+    }
+    opts
+}
+
+/// Routes one merged-stream line to its source by envelope sniffing.
+/// Unrecognisable envelopes go to the console parser, which counts them
+/// as skipped (same behaviour as garbage inside a known stream).
+fn route(engine: &mut StreamEngine, line: &str) {
+    let source = guess_source(line).unwrap_or(LogSource::Console);
+    engine.push_line(source, line);
+}
+
+fn run_stdin(engine: &mut StreamEngine, poll: Duration) {
+    // A detached reader thread turns the blocking stdin into a channel the
+    // main loop can poll alongside the shutdown flag.
+    let (tx, rx) = mpsc::sync_channel::<String>(4096);
+    std::thread::spawn(move || {
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            let Ok(line) = line else { break };
+            if tx.send(line).is_err() {
+                break;
+            }
+        }
+    });
+    loop {
+        if shutting_down() {
+            eprintln!("hpc-watch: signal received, finishing ...");
+            break;
+        }
+        match rx.recv_timeout(poll) {
+            Ok(line) => route(engine, &line),
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+}
+
+fn run_follow(engine: &mut StreamEngine, dir: &std::path::Path, poll: Duration) {
+    let mut follow = hpc_node_failures::stream::follow::FollowDir::new(dir);
+    loop {
+        if shutting_down() {
+            eprintln!("hpc-watch: signal received, finishing ...");
+            break;
+        }
+        if follow.poll_into(engine) == 0 {
+            std::thread::sleep(poll);
+        }
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    install_signal_handlers();
+
+    let mut engine = StreamEngine::new(opts.config);
+    if !opts.quiet {
+        engine.add_sink(Box::new(TextSink::new(std::io::stderr())));
+    }
+    if let Some(path) = &opts.alerts_jsonl {
+        match std::fs::File::create(path) {
+            Ok(f) => engine.add_sink(Box::new(JsonlSink::new(std::io::BufWriter::new(f)))),
+            Err(e) => {
+                eprintln!("cannot open {path}: {e}");
+                exit(1);
+            }
+        }
+    }
+
+    match &opts.follow {
+        Some(dir) => run_follow(&mut engine, dir, opts.poll),
+        None => run_stdin(&mut engine, opts.poll),
+    }
+    engine.finish();
+
+    let stats = engine.stats();
+    eprintln!(
+        "hpc-watch: {} lines, {} events ({} late, {} lines skipped) | \
+         {} alerts ({} expired unmatched) | {} failures ({} predicted, {} missed) | \
+         window {} events now, {} peak, {} evicted",
+        stats.lines,
+        stats.events,
+        stats.late_events,
+        stats.skipped_lines,
+        stats.alerts,
+        stats.expired_alerts,
+        stats.failures,
+        stats.predicted_failures,
+        stats.missed_failures,
+        stats.window_events,
+        stats.window_peak,
+        stats.window_evicted,
+    );
+    if let Some((blade, n)) = engine.window().hottest_blade() {
+        eprintln!(
+            "hpc-watch: hottest blade {} ({n} external events in window)",
+            blade.cname()
+        );
+    }
+
+    let snapshot = telemetry::snapshot();
+    eprintln!("--- telemetry ---");
+    eprint!("{}", telemetry::summary_table(&snapshot));
+    if let Some(path) = opts.telemetry_json {
+        if let Err(e) = std::fs::write(&path, snapshot.to_json()) {
+            eprintln!("failed to write telemetry JSON to {path}: {e}");
+            exit(1);
+        }
+        eprintln!("telemetry JSON written to {path}");
+    }
+}

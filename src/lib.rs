@@ -11,6 +11,8 @@
 //! * [`faultsim`] — fault-injection scenarios producing text log archives
 //!   plus ground truth.
 //! * [`diagnosis`] — the paper's measurement pipeline over text logs.
+//! * [`stream`] — bounded-memory online diagnosis over live log streams
+//!   (the `hpc-watch` engine).
 //! * [`telemetry`] — stage-level tracing, metrics and machine-readable
 //!   run reports across the whole simulate→diagnose pipeline.
 //!
@@ -34,4 +36,5 @@ pub use hpc_logs as logs;
 pub use hpc_platform as platform;
 pub use hpc_sched as sched;
 pub use hpc_stats as stats;
+pub use hpc_stream as stream;
 pub use hpc_telemetry as telemetry;
