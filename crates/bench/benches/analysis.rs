@@ -1,0 +1,158 @@
+//! Analysis benchmarks over the EventStore query layer: the full
+//! five-section report on a multi-week archive, plus store-vs-scan
+//! comparisons of the query kernels the refactor replaced — the
+//! fault→failure correspondence (per-event `fails_within` was an
+//! O(failures) scan before the per-node failure-time index) and the
+//! console pattern census (a whole-sequence scan before the per-class
+//! posting lists).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use hpc_diagnosis::external::{nhf_correspondence, nvf_correspondence};
+use hpc_diagnosis::jobs::JobLog;
+use hpc_diagnosis::report;
+use hpc_diagnosis::root_cause::PatternCensus;
+use hpc_diagnosis::{Diagnosis, DiagnosisConfig};
+use hpc_faultsim::Scenario;
+use hpc_logs::event::{ConsoleDetail, ControllerDetail, Payload};
+use hpc_logs::time::SimDuration;
+use hpc_platform::{NodeId, SystemId};
+
+fn multi_week() -> Diagnosis {
+    let out = Scenario::new(SystemId::S1, 2, 21, 6).run();
+    Diagnosis::from_archive(&out.archive, DiagnosisConfig::default())
+}
+
+/// The pre-refactor correspondence shape: walk every event, and for each
+/// fault scan the whole failure list for a same-node failure in
+/// `[t − 2 min, t + horizon]`.
+fn scan_correspondence(
+    d: &Diagnosis,
+    mut subject: impl FnMut(&Payload) -> Option<NodeId>,
+) -> (usize, usize) {
+    let horizon = d.config.failure_horizon;
+    let (mut total, mut followed) = (0, 0);
+    for e in d.events() {
+        if let Some(node) = subject(&e.payload) {
+            total += 1;
+            let from = e.time.saturating_sub(SimDuration::from_mins(2));
+            if d.failures
+                .iter()
+                .any(|f| f.node == node && f.time >= from && f.time <= e.time + horizon)
+            {
+                followed += 1;
+            }
+        }
+    }
+    (total, followed)
+}
+
+/// The pre-refactor census shape: one pass over every event of the window.
+fn scan_pattern_census(d: &Diagnosis) -> usize {
+    let mut nodes = std::collections::BTreeSet::new();
+    for e in d.events() {
+        if let Payload::Console { node, .. } = &e.payload {
+            nodes.insert(*node);
+        }
+    }
+    nodes.len()
+}
+
+fn bench_full_report(c: &mut Criterion) {
+    let d = multi_week();
+    let mut group = c.benchmark_group("analysis/full_report");
+    group.sample_size(10);
+    group.bench_function("store", |b| {
+        b.iter(|| {
+            let jobs = JobLog::from_diagnosis(&d);
+            report::full_report(&d, &jobs)
+        })
+    });
+    group.finish();
+}
+
+fn bench_correspondence(c: &mut Criterion) {
+    let d = multi_week();
+    let mut group = c.benchmark_group("analysis/correspondence");
+    group.bench_function("store", |b| {
+        b.iter(|| (nvf_correspondence(&d), nhf_correspondence(&d)))
+    });
+    group.bench_function("scan", |b| {
+        b.iter(|| {
+            let nvf = scan_correspondence(&d, |p| match p {
+                Payload::Controller {
+                    detail: ControllerDetail::NodeVoltageFault { node },
+                    ..
+                } => Some(*node),
+                _ => None,
+            });
+            let nhf = scan_correspondence(&d, |p| match p {
+                Payload::Controller {
+                    detail: ControllerDetail::NodeHeartbeatFault { node },
+                    ..
+                } => Some(*node),
+                _ => None,
+            });
+            (nvf, nhf)
+        })
+    });
+    group.finish();
+}
+
+fn bench_pattern_census(c: &mut Criterion) {
+    let d = multi_week();
+    let mut group = c.benchmark_group("analysis/pattern_census");
+    group.bench_function("store", |b| b.iter(|| PatternCensus::compute(&d)));
+    group.bench_function("scan", |b| b.iter(|| scan_pattern_census(&d)));
+    group.finish();
+}
+
+fn bench_fails_within(c: &mut Criterion) {
+    let d = multi_week();
+    // Probe every SEDC warning's (node-less) blade plus every MCE's node —
+    // a realistic mix of hit and miss lookups.
+    let probes: Vec<(NodeId, hpc_logs::time::SimTime)> = d
+        .events()
+        .iter()
+        .filter_map(|e| match &e.payload {
+            Payload::Console {
+                node,
+                detail: ConsoleDetail::Mce { .. },
+            } => Some((*node, e.time)),
+            _ => None,
+        })
+        .collect();
+    let horizon = d.config.failure_horizon;
+    let mut group = c.benchmark_group("analysis/fails_within");
+    group.bench_function("store", |b| {
+        b.iter(|| {
+            probes
+                .iter()
+                .filter(|&&(n, t)| d.store().fails_within(n, t, horizon))
+                .count()
+        })
+    });
+    group.bench_function("scan", |b| {
+        b.iter(|| {
+            probes
+                .iter()
+                .filter(|&&(n, t)| {
+                    let from = t.saturating_sub(SimDuration::from_mins(2));
+                    d.failures
+                        .iter()
+                        .any(|f| f.node == n && f.time >= from && f.time <= t + horizon)
+                })
+                .count()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_full_report,
+    bench_correspondence,
+    bench_pattern_census,
+    bench_fails_within
+);
+criterion_main!(benches);

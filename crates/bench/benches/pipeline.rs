@@ -48,7 +48,7 @@ fn bench_analyses(c: &mut Criterion) {
     group.bench_function("classify_all", |b| b.iter(|| classify_all(&d)));
     group.bench_function("lead_times", |b| b.iter(|| lead_times(&d)));
     group.bench_function("detection_only", |b| {
-        b.iter(|| hpc_diagnosis::detection::detect_failures(&d.events))
+        b.iter(|| hpc_diagnosis::detection::detect_failures(d.events()))
     });
     group.finish();
 }

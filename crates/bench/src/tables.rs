@@ -69,35 +69,36 @@ pub fn table3() -> String {
         "controller health faults (NHF, NVF, BCHF, ECB, …) vs SEDC warnings (temp, voltage, velocity, …)",
     );
     let (_, d) = run_and_diagnose(&scenario(SystemId::S1, 7, 3));
+    use hpc_diagnosis::EventClass;
     use hpc_logs::event::{ControllerDetail, ErdDetail, Payload};
     let mut health: std::collections::BTreeMap<&str, usize> = Default::default();
     let mut warnings: std::collections::BTreeMap<String, usize> = Default::default();
-    for e in &d.events {
-        match &e.payload {
-            Payload::Controller { detail, .. } => {
-                let name = match detail {
-                    ControllerDetail::NodeHeartbeatFault { .. } => "NHF (node heartbeat fault)",
-                    ControllerDetail::NodeVoltageFault { .. } => "NVF (node voltage fault)",
-                    ControllerDetail::BcHeartbeatFault => "BCHF (BC heartbeat fault)",
-                    ControllerDetail::EcbFault { .. } => "ECB fault",
-                    ControllerDetail::SensorReadFailed { .. } => "get sensor reading failed",
-                    ControllerDetail::CabinetPowerFault => "cabinet power fault",
-                    ControllerDetail::MicroControllerFault => "micro controller fault",
-                    ControllerDetail::CommunicationFault => "communication fault",
-                    ControllerDetail::ModuleHealthFault => "module health fault",
-                    ControllerDetail::RpmFault { .. } => "fan RPM fault",
-                    ControllerDetail::L0SysdMce { .. } => "L0_sysd_mce",
-                    ControllerDetail::NodePowerOff { .. } => "node power off",
-                };
-                *health.entry(name).or_insert(0) += 1;
-            }
-            Payload::Erd {
-                detail: ErdDetail::SedcWarning { sensor, .. },
-                ..
-            } => {
-                *warnings.entry(format!("SEDC {sensor}")).or_insert(0) += 1;
-            }
-            _ => {}
+    for e in d.store().classes_events(EventClass::CONTROLLER) {
+        if let Payload::Controller { detail, .. } = &e.payload {
+            let name = match detail {
+                ControllerDetail::NodeHeartbeatFault { .. } => "NHF (node heartbeat fault)",
+                ControllerDetail::NodeVoltageFault { .. } => "NVF (node voltage fault)",
+                ControllerDetail::BcHeartbeatFault => "BCHF (BC heartbeat fault)",
+                ControllerDetail::EcbFault { .. } => "ECB fault",
+                ControllerDetail::SensorReadFailed { .. } => "get sensor reading failed",
+                ControllerDetail::CabinetPowerFault => "cabinet power fault",
+                ControllerDetail::MicroControllerFault => "micro controller fault",
+                ControllerDetail::CommunicationFault => "communication fault",
+                ControllerDetail::ModuleHealthFault => "module health fault",
+                ControllerDetail::RpmFault { .. } => "fan RPM fault",
+                ControllerDetail::L0SysdMce { .. } => "L0_sysd_mce",
+                ControllerDetail::NodePowerOff { .. } => "node power off",
+            };
+            *health.entry(name).or_insert(0) += 1;
+        }
+    }
+    for e in d.store().class_events(EventClass::SedcWarning) {
+        if let Payload::Erd {
+            detail: ErdDetail::SedcWarning { sensor, .. },
+            ..
+        } = &e.payload
+        {
+            *warnings.entry(format!("SEDC {sensor}")).or_insert(0) += 1;
         }
     }
     s.push_str("  Health faults (controller log):\n");
@@ -185,7 +186,7 @@ pub fn table7() -> String {
     // Severity census across a simulated week as the quantitative garnish.
     let (_, d) = run_and_diagnose(&scenario(SystemId::S1, 7, 7));
     let mut counts: std::collections::BTreeMap<Severity, usize> = Default::default();
-    for e in &d.events {
+    for e in d.events() {
         *counts.entry(e.severity()).or_insert(0) += 1;
     }
     s.push_str("\n  event severity census (1 simulated week, 2 cabinets):\n");

@@ -214,7 +214,7 @@ pub fn swo_report() -> String {
     let _ = writeln!(
         s,
         "  intended shutdowns excluded at detection: {}",
-        hpc_diagnosis::swo::intended_shutdown_count(&d.events)
+        hpc_diagnosis::swo::intended_shutdown_count(d.events())
     );
     s
 }

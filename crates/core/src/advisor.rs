@@ -17,7 +17,7 @@ use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
-use hpc_logs::event::{ErdDetail, JobId, Payload};
+use hpc_logs::event::{JobId, Payload};
 use hpc_platform::{BladeId, NodeId};
 
 use crate::jobs::{shared_job_groups, JobLog};
@@ -133,12 +133,11 @@ pub fn advise(d: &Diagnosis, jobs: &JobLog) -> Vec<Advisory> {
 
     // 4. Chatty blades without failures.
     let mut warnings_per_blade: BTreeMap<BladeId, u64> = BTreeMap::new();
-    for e in &d.events {
-        if let Payload::Erd {
-            scope,
-            detail: ErdDetail::SedcWarning { .. },
-        } = &e.payload
-        {
+    for e in d
+        .store()
+        .class_events(crate::store::EventClass::SedcWarning)
+    {
+        if let Payload::Erd { scope, .. } = &e.payload {
             if let Some(b) = scope.blade() {
                 *warnings_per_blade.entry(b).or_insert(0) += 1;
             }

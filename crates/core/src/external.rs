@@ -23,6 +23,7 @@ use hpc_platform::{BladeId, CabinetId, NodeId};
 use hpc_stats::descriptive::Summary;
 
 use crate::pipeline::Diagnosis;
+use crate::store::EventClass;
 
 /// Correspondence between a fault type and subsequent failures (Fig. 5).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -45,25 +46,23 @@ impl FaultCorrespondence {
     }
 }
 
-/// Does `node` fail within `[t, t + horizon]`?
-fn fails_within(d: &Diagnosis, node: NodeId, t: SimTime, horizon: SimDuration) -> bool {
-    d.failures.iter().any(|f| {
-        f.node == node
-            && f.time >= t.saturating_sub(SimDuration::from_mins(2))
-            && f.time <= t + horizon
-    })
-}
-
+/// The one indexed correspondence driver: walks only the posting lists of
+/// `classes` (chronologically) instead of the whole event sequence, and
+/// matches each fault to a subsequent failure through the store's binary-
+/// searched per-node failure-time index ([`crate::store::EventStore::fails_within`]).
 fn fault_correspondence(
     d: &Diagnosis,
-    mut matches: impl FnMut(&LogEvent) -> Option<NodeId>,
+    classes: &[EventClass],
+    mut subject: impl FnMut(&LogEvent) -> Option<NodeId>,
 ) -> FaultCorrespondence {
     let _span = hpc_telemetry::span!("core.external.correspondence");
     let mut out = FaultCorrespondence::default();
-    for e in &d.events {
-        if let Some(node) = matches(e) {
+    for e in d.store().classes_events(classes) {
+        if let Some(node) = subject(e) {
             out.total += 1;
-            if fails_within(d, node, e.time, d.config.failure_horizon) {
+            if d.store()
+                .fails_within(node, e.time, d.config.failure_horizon)
+            {
                 out.followed_by_failure += 1;
             }
         }
@@ -73,7 +72,7 @@ fn fault_correspondence(
 
 /// Fig. 5 (NVF side): node-voltage faults vs failures.
 pub fn nvf_correspondence(d: &Diagnosis) -> FaultCorrespondence {
-    fault_correspondence(d, |e| match &e.payload {
+    fault_correspondence(d, &[EventClass::NodeVoltageFault], |e| match &e.payload {
         Payload::Controller {
             detail: ControllerDetail::NodeVoltageFault { node },
             ..
@@ -84,7 +83,7 @@ pub fn nvf_correspondence(d: &Diagnosis) -> FaultCorrespondence {
 
 /// Fig. 5 (NHF side): node-heartbeat faults vs failures.
 pub fn nhf_correspondence(d: &Diagnosis) -> FaultCorrespondence {
-    fault_correspondence(d, |e| match &e.payload {
+    fault_correspondence(d, &[EventClass::NodeHeartbeatFault], |e| match &e.payload {
         Payload::Controller {
             detail: ControllerDetail::NodeHeartbeatFault { node },
             ..
@@ -136,7 +135,7 @@ impl NhfWeek {
 /// Classifies every NHF and groups by week (Fig. 6).
 pub fn nhf_breakdown_weekly(d: &Diagnosis) -> Vec<NhfWeek> {
     let mut weeks: BTreeMap<u64, NhfWeek> = BTreeMap::new();
-    for e in &d.events {
+    for e in d.store().class_events(EventClass::NodeHeartbeatFault) {
         let Payload::Controller {
             detail: ControllerDetail::NodeHeartbeatFault { node },
             ..
@@ -144,7 +143,10 @@ pub fn nhf_breakdown_weekly(d: &Diagnosis) -> Vec<NhfWeek> {
         else {
             continue;
         };
-        let outcome = if fails_within(d, *node, e.time, d.config.failure_horizon) {
+        let outcome = if d
+            .store()
+            .fails_within(*node, e.time, d.config.failure_horizon)
+        {
             NhfOutcome::Failure
         } else if power_off_follows(d, *node, e.time) {
             NhfOutcome::PoweredOff
@@ -194,25 +196,26 @@ pub struct SedcWeek {
 pub fn sedc_census_weekly(d: &Diagnosis) -> Vec<SedcWeek> {
     let mut warn_blades: BTreeMap<u64, BTreeSet<BladeId>> = BTreeMap::new();
     let mut fault_units: BTreeMap<u64, BTreeSet<(u8, u32)>> = BTreeMap::new();
-    for e in &d.events {
-        let week = e.time.as_millis() / MILLIS_PER_WEEK;
-        match &e.payload {
-            Payload::Erd {
-                scope,
-                detail: ErdDetail::SedcWarning { .. },
-            } => {
-                if let Some(b) = scope.blade() {
-                    warn_blades.entry(week).or_default().insert(b);
-                }
+    for e in d.store().class_events(EventClass::SedcWarning) {
+        if let Payload::Erd { scope, .. } = &e.payload {
+            if let Some(b) = scope.blade() {
+                warn_blades
+                    .entry(e.time.as_millis() / MILLIS_PER_WEEK)
+                    .or_default()
+                    .insert(b);
             }
-            Payload::Controller { scope, .. } => {
-                let unit = match scope.blade() {
-                    Some(b) => (0u8, b.0),
-                    None => (1u8, scope.cabinet().0),
-                };
-                fault_units.entry(week).or_default().insert(unit);
-            }
-            _ => {}
+        }
+    }
+    for e in d.store().classes_events(EventClass::CONTROLLER) {
+        if let Payload::Controller { scope, .. } = &e.payload {
+            let unit = match scope.blade() {
+                Some(b) => (0u8, b.0),
+                None => (1u8, scope.cabinet().0),
+            };
+            fault_units
+                .entry(e.time.as_millis() / MILLIS_PER_WEEK)
+                .or_default()
+                .insert(unit);
         }
     }
     let weeks: BTreeSet<u64> = warn_blades
@@ -233,19 +236,16 @@ pub fn sedc_census_weekly(d: &Diagnosis) -> Vec<SedcWeek> {
 /// Hourly warning counts per blade for one day (Fig. 9). Returns, for each
 /// blade with any warning that day, a 24-slot histogram.
 pub fn hourly_blade_warnings(d: &Diagnosis, day: u64) -> BTreeMap<BladeId, [u64; 24]> {
-    let from = day * MILLIS_PER_DAY;
-    let to = from + MILLIS_PER_DAY;
+    let from = SimTime::from_millis(day * MILLIS_PER_DAY);
+    let to = SimTime::from_millis((day + 1) * MILLIS_PER_DAY);
     let mut out: BTreeMap<BladeId, [u64; 24]> = BTreeMap::new();
-    for e in &d.events {
-        let ms = e.time.as_millis();
-        if ms < from || ms >= to {
-            continue;
-        }
-        let Payload::Erd {
-            scope,
-            detail: ErdDetail::SedcWarning { .. },
-        } = &e.payload
-        else {
+    // A genuine indexed range: only the day's warnings are visited, not
+    // the whole window's events.
+    for e in d
+        .store()
+        .class_events_between(EventClass::SedcWarning, from, to)
+    {
+        let Payload::Erd { scope, .. } = &e.payload else {
             continue;
         };
         if let Some(blade) = scope.blade() {
@@ -280,7 +280,10 @@ pub fn error_vs_failure_daily(d: &Diagnosis) -> Vec<ErrorVsFailureDay> {
         failed: BTreeSet<NodeId>,
     }
     let mut days: BTreeMap<u64, Sets> = BTreeMap::new();
-    for e in &d.events {
+    // All console classes, not just the three counted kinds: any console
+    // activity opens a day entry, so quiet-but-chattering days still show
+    // up as zero rows (the Fig. 10 x-axis).
+    for e in d.store().classes_events(EventClass::CONSOLE) {
         let Payload::Console { node, detail } = &e.payload else {
             continue;
         };
@@ -320,7 +323,7 @@ pub fn error_vs_failure_daily(d: &Diagnosis) -> Vec<ErrorVsFailureDay> {
 /// (Fig. 11).
 pub fn temperature_map(d: &Diagnosis) -> BTreeMap<(BladeId, u16), Summary> {
     let mut samples: BTreeMap<(BladeId, u16), Vec<f64>> = BTreeMap::new();
-    for e in &d.events {
+    for e in d.store().class_events(EventClass::SedcReading) {
         let Payload::Erd {
             scope,
             detail:

@@ -60,66 +60,78 @@ pub struct JobLog {
     jobs: BTreeMap<JobId, JobRecord>,
 }
 
+/// The job-lifecycle classes: the only events [`JobLog`] reads.
+const JOB_CLASSES: &[crate::store::EventClass] = &[
+    crate::store::EventClass::JobStart,
+    crate::store::EventClass::JobEnd,
+    crate::store::EventClass::MemOverallocation,
+];
+
 impl JobLog {
     /// Rebuilds the job log from parsed events (scheduler payloads only).
-    pub fn from_events(events: &[LogEvent]) -> JobLog {
+    pub fn from_events<'a>(events: impl IntoIterator<Item = &'a LogEvent>) -> JobLog {
         let mut jobs: BTreeMap<JobId, JobRecord> = BTreeMap::new();
         for e in events {
-            let Payload::Scheduler { detail } = &e.payload else {
-                continue;
-            };
-            match detail {
-                SchedulerDetail::JobStart {
-                    job,
-                    user,
-                    app,
-                    nodes,
-                    mem_per_node_mib,
-                    ..
-                } => {
-                    jobs.insert(
-                        *job,
-                        JobRecord {
-                            id: *job,
-                            app: *app,
-                            user: *user,
-                            nodes: nodes.clone(),
-                            mem_per_node_mib: *mem_per_node_mib,
-                            start: e.time,
-                            end: None,
-                            exit_code: None,
-                            reason: None,
-                            overallocated_nodes: Vec::new(),
-                        },
-                    );
-                }
-                SchedulerDetail::JobEnd {
-                    job,
-                    exit_code,
-                    reason,
-                } => {
-                    if let Some(j) = jobs.get_mut(job) {
-                        j.end = Some(e.time);
-                        j.exit_code = Some(*exit_code);
-                        j.reason = Some(*reason);
-                    }
-                }
-                SchedulerDetail::MemOverallocation { job, node, .. } => {
-                    if let Some(j) = jobs.get_mut(job) {
-                        if !j.overallocated_nodes.contains(node) {
-                            j.overallocated_nodes.push(*node);
-                        }
-                    }
-                }
-                _ => {}
-            }
+            Self::apply(&mut jobs, e);
         }
         JobLog { jobs }
     }
 
-    /// Convenience: rebuild from a diagnosis.
+    /// Rebuilds from a diagnosis, walking only the job-lifecycle posting
+    /// lists of the store (chronologically) rather than all events.
     pub fn from_diagnosis(d: &Diagnosis) -> JobLog {
-        JobLog::from_events(&d.events)
+        JobLog::from_events(d.store().classes_events(JOB_CLASSES))
+    }
+
+    fn apply(jobs: &mut BTreeMap<JobId, JobRecord>, e: &LogEvent) {
+        let Payload::Scheduler { detail } = &e.payload else {
+            return;
+        };
+        match detail {
+            SchedulerDetail::JobStart {
+                job,
+                user,
+                app,
+                nodes,
+                mem_per_node_mib,
+                ..
+            } => {
+                jobs.insert(
+                    *job,
+                    JobRecord {
+                        id: *job,
+                        app: *app,
+                        user: *user,
+                        nodes: nodes.clone(),
+                        mem_per_node_mib: *mem_per_node_mib,
+                        start: e.time,
+                        end: None,
+                        exit_code: None,
+                        reason: None,
+                        overallocated_nodes: Vec::new(),
+                    },
+                );
+            }
+            SchedulerDetail::JobEnd {
+                job,
+                exit_code,
+                reason,
+            } => {
+                if let Some(j) = jobs.get_mut(job) {
+                    j.end = Some(e.time);
+                    j.exit_code = Some(*exit_code);
+                    j.reason = Some(*reason);
+                }
+            }
+            SchedulerDetail::MemOverallocation { job, node, .. } => {
+                if let Some(j) = jobs.get_mut(job) {
+                    if !j.overallocated_nodes.contains(node) {
+                        j.overallocated_nodes.push(*node);
+                    }
+                }
+            }
+            _ => {}
+        }
     }
 
     /// Number of jobs seen.
@@ -234,9 +246,9 @@ pub fn overallocation_analysis(d: &Diagnosis, jobs: &JobLog) -> Vec<Overallocati
                 .overallocated_nodes
                 .iter()
                 .filter(|n| {
-                    d.failures
-                        .iter()
-                        .any(|f| f.node == **n && f.time >= j.start && f.time <= end + slack)
+                    d.store()
+                        .first_failure_in(**n, j.start, end + slack)
+                        .is_some()
                 })
                 .count();
             OverallocationJob {

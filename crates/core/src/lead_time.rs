@@ -262,7 +262,13 @@ pub fn false_positive_analysis(d: &Diagnosis) -> FalsePositiveComparison {
     let mut out = FalsePositiveComparison::default();
     let mut last_flag: std::collections::HashMap<hpc_platform::NodeId, SimTime> =
         Default::default();
-    for e in &d.events {
+    // Only the indicative console classes can flag; the per-event predicate
+    // still applies (corrected MCEs / correctable memory errors are in the
+    // Mce / MemoryError posting lists but are not indicative).
+    for e in d
+        .store()
+        .classes_events(crate::store::EventClass::INDICATIVE_INTERNAL)
+    {
         if !is_indicative_internal(e) {
             continue;
         }
@@ -274,9 +280,12 @@ pub fn false_positive_analysis(d: &Diagnosis) -> FalsePositiveComparison {
         }
         last_flag.insert(node, e.time);
 
-        let fails = d.failures.iter().any(|f| {
-            f.node == node && f.time >= e.time && f.time <= e.time + d.config.failure_horizon
-        });
+        // Unlike the fault→failure correspondence, a predictor flag has no
+        // −2 min slack: only failures at or after the flag count.
+        let fails = d
+            .store()
+            .first_failure_in(node, e.time, e.time + d.config.failure_horizon)
+            .is_some();
         out.internal_flags += 1;
         if fails {
             out.internal_tp += 1;

@@ -4,7 +4,8 @@
 //! measurement-driven diagnosis of node failures from raw text logs.
 //!
 //! ```text
-//!   text logs ──► pipeline (parse ∥, merge, detect, index)
+//!   text logs ──► pipeline (parse ∥, merge, detect)
+//!                 ──► store (per-class/per-entity/failure-time indexes)
 //!                  ├─► root_cause     (Table IV/V rules, Fig. 15/16)
 //!                  ├─► interarrival   (Fig. 3/4/19, Obs. 1)
 //!                  ├─► spatial        (Fig. 7/18, Obs. 2/8)
@@ -33,8 +34,10 @@ pub mod report;
 pub mod root_cause;
 pub mod spatial;
 pub mod stack_trace;
+pub mod store;
 pub mod swo;
 
 pub use detection::{DetectedFailure, TerminalKind};
 pub use pipeline::{Diagnosis, DiagnosisConfig};
 pub use root_cause::{CauseBreakdown, CauseClass, Fig16Bucket, InferredCause};
+pub use store::{EntityIndex, EventClass, EventStore, Postings};

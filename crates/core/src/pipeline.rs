@@ -5,15 +5,14 @@
 //! spread over a work-stealing pool sized from the machine (see
 //! [`Diagnosis::ingest_threads`]) — k-way merges them into one
 //! chronological event sequence, detects manifested failures, and builds
-//! the per-node / per-blade / per-cabinet indexes that every analysis
-//! module queries. [`Diagnosis::from_dir`] runs the same pooled ingest
-//! straight off an on-disk archive with bounded memory.
+//! the [`EventStore`] indexes that every analysis module queries.
+//! [`Diagnosis::from_dir`] runs the same pooled ingest straight off an
+//! on-disk archive with bounded memory.
 //!
 //! The pipeline deliberately starts from *text*: it knows nothing about the
 //! simulator, mirroring the paper's position of mining p0-directory,
 //! controller, ERD and scheduler files.
 
-use std::collections::HashMap;
 use std::io;
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -22,12 +21,13 @@ use hpc_logs::archive::{merge_by_time, LogArchive};
 use hpc_logs::chunk::{
     chunk_lines_for, chunk_spans, parse_chunk, stitch, ChunkParse, ChunkedStream,
 };
-use hpc_logs::event::{LogEvent, LogSource, Payload};
+use hpc_logs::event::{LogEvent, LogSource};
 use hpc_logs::parse::LogParser;
 use hpc_logs::time::{SimDuration, SimTime};
 use hpc_platform::{BladeId, CabinetId, NodeId};
 
 use crate::detection::{detect_failures, DetectedFailure};
+use crate::store::EventStore;
 use crate::swo::{detect_swos, partition_failures, SwoConfig, SwoWindow};
 
 /// Tunables of the pipeline. Defaults follow the windows discussed in the
@@ -76,13 +76,12 @@ impl Default for DiagnosisConfig {
     }
 }
 
-/// The parsed, indexed view of one observation window.
+/// The parsed, indexed view of one observation window: a thin view over
+/// the [`EventStore`] plus the detection outputs.
 #[derive(Debug, Clone)]
 pub struct Diagnosis {
     /// Pipeline configuration used.
     pub config: DiagnosisConfig,
-    /// All events, chronologically merged across sources.
-    pub events: Vec<LogEvent>,
     /// Detected node failures (chronological), excluding failures swallowed
     /// by recognised SWOs when `config.exclude_swos` is set.
     pub failures: Vec<DetectedFailure>,
@@ -92,9 +91,7 @@ pub struct Diagnosis {
     pub swo_failures: Vec<DetectedFailure>,
     /// Lines no parser recognised (log corruption indicator).
     pub skipped_lines: u64,
-    node_index: HashMap<NodeId, Vec<u32>>,
-    blade_external: HashMap<BladeId, Vec<u32>>,
-    cabinet_external: HashMap<CabinetId, Vec<u32>>,
+    store: EventStore,
 }
 
 impl Diagnosis {
@@ -201,9 +198,9 @@ impl Diagnosis {
     ///
     /// # Panics
     ///
-    /// If there are more than `u32::MAX` events — the per-node/blade/cabinet
-    /// indexes store dense `u32` positions, and truncating would silently
-    /// point them at the wrong events. Split the observation window instead.
+    /// If there are more than `u32::MAX` events — the store's posting lists
+    /// store dense `u32` positions, and truncating would silently point
+    /// them at the wrong events. Split the observation window instead.
     pub fn from_events(
         events: Vec<LogEvent>,
         skipped_lines: u64,
@@ -233,67 +230,36 @@ impl Diagnosis {
         } else {
             (all_failures, Vec::new(), Vec::new())
         };
-        let _index = hpc_telemetry::span!("core.index");
-        let mut node_index: HashMap<NodeId, Vec<u32>> = HashMap::new();
-        let mut blade_external: HashMap<BladeId, Vec<u32>> = HashMap::new();
-        let mut cabinet_external: HashMap<CabinetId, Vec<u32>> = HashMap::new();
-        for (i, event) in events.iter().enumerate() {
-            let i = u32::try_from(i).unwrap_or_else(|_| {
-                panic!("event {i} exceeds the u32 capacity of the dense event indexes; split the observation window")
-            });
-            if let Some(node) = event.subject_node() {
-                node_index.entry(node).or_default().push(i);
-            }
-            match &event.payload {
-                Payload::Controller { scope, .. } | Payload::Erd { scope, .. } => {
-                    // Blade-scoped events index under their blade;
-                    // cabinet-scoped (CC) events under their cabinet. Blade
-                    // events do NOT roll up: the paper treats BC and CC
-                    // health separately ("blade and cabinet-specific health
-                    // faults"), and rolling up would mark every cabinet
-                    // faulty on a miniature machine.
-                    match scope {
-                        hpc_logs::event::ControllerScope::Blade(_) => {
-                            if let Some(blade) = event.subject_blade() {
-                                blade_external.entry(blade).or_default().push(i);
-                            }
-                        }
-                        hpc_logs::event::ControllerScope::Cabinet(c) => {
-                            cabinet_external.entry(*c).or_default().push(i);
-                        }
-                    }
-                }
-                _ => {}
-            }
-        }
+        let store = EventStore::build(events, &failures);
         Diagnosis {
             config,
-            events,
             failures,
             swos,
             swo_failures,
             skipped_lines,
-            node_index,
-            blade_external,
-            cabinet_external,
+            store,
         }
+    }
+
+    /// The underlying [`EventStore`], for class-level and failure-index
+    /// queries the thin delegates below don't cover.
+    pub fn store(&self) -> &EventStore {
+        &self.store
+    }
+
+    /// All events, chronologically merged across sources.
+    pub fn events(&self) -> &[LogEvent] {
+        self.store.events()
     }
 
     /// First and last event times (epoch..epoch for an empty window).
     pub fn window(&self) -> (SimTime, SimTime) {
-        match (self.events.first(), self.events.last()) {
-            (Some(a), Some(b)) => (a.time, b.time),
-            _ => (SimTime::EPOCH, SimTime::EPOCH),
-        }
+        self.store.window()
     }
 
     /// All events whose subject is `node`, chronological.
     pub fn node_events(&self, node: NodeId) -> impl Iterator<Item = &LogEvent> {
-        self.node_index
-            .get(&node)
-            .into_iter()
-            .flatten()
-            .map(move |&i| &self.events[i as usize])
+        self.store.node_events(node)
     }
 
     /// Events about `node` within `[from, to)`.
@@ -303,7 +269,7 @@ impl Diagnosis {
         from: SimTime,
         to: SimTime,
     ) -> impl Iterator<Item = &LogEvent> {
-        self.slice_between(self.node_index.get(&node), from, to)
+        self.store.node_events_between(node, from, to)
     }
 
     /// External (controller/ERD) events attributed to `blade` within
@@ -314,7 +280,7 @@ impl Diagnosis {
         from: SimTime,
         to: SimTime,
     ) -> impl Iterator<Item = &LogEvent> {
-        self.slice_between(self.blade_external.get(&blade), from, to)
+        self.store.blade_external_between(blade, from, to)
     }
 
     /// External events attributed to `cabinet` within `[from, to)`.
@@ -324,50 +290,17 @@ impl Diagnosis {
         from: SimTime,
         to: SimTime,
     ) -> impl Iterator<Item = &LogEvent> {
-        self.slice_between(self.cabinet_external.get(&cabinet), from, to)
+        self.store.cabinet_external_between(cabinet, from, to)
     }
 
     /// Blades that logged any external fault/warning in `[from, to)`.
     pub fn faulty_blades_between(&self, from: SimTime, to: SimTime) -> Vec<BladeId> {
-        let mut out: Vec<BladeId> = self
-            .blade_external
-            .keys()
-            .copied()
-            .filter(|b| self.blade_external_between(*b, from, to).next().is_some())
-            .collect();
-        out.sort_unstable();
-        out
+        self.store.faulty_blades_between(from, to)
     }
 
     /// Cabinets that logged any external fault/warning in `[from, to)`.
     pub fn faulty_cabinets_between(&self, from: SimTime, to: SimTime) -> Vec<CabinetId> {
-        let mut out: Vec<CabinetId> = self
-            .cabinet_external
-            .keys()
-            .copied()
-            .filter(|c| self.cabinet_external_between(*c, from, to).next().is_some())
-            .collect();
-        out.sort_unstable();
-        out
-    }
-
-    fn slice_between<'a>(
-        &'a self,
-        idx: Option<&'a Vec<u32>>,
-        from: SimTime,
-        to: SimTime,
-    ) -> impl Iterator<Item = &'a LogEvent> {
-        let (lo, hi) = match idx {
-            Some(v) => {
-                let lo = v.partition_point(|&i| self.events[i as usize].time < from);
-                let hi = v.partition_point(|&i| self.events[i as usize].time < to);
-                (lo, hi)
-            }
-            None => (0, 0),
-        };
-        idx.into_iter()
-            .flat_map(move |v| v[lo..hi].iter())
-            .map(move |&i| &self.events[i as usize])
+        self.store.faulty_cabinets_between(from, to)
     }
 }
 
@@ -551,7 +484,7 @@ mod tests {
     fn parallel_and_sequential_ingest_agree() {
         let (dp, _) = diagnose(5, true);
         let (ds, _) = diagnose(5, false);
-        assert_eq!(dp.events, ds.events);
+        assert_eq!(dp.events(), ds.events());
         assert_eq!(dp.failures, ds.failures);
         assert_eq!(dp.skipped_lines, ds.skipped_lines);
     }
@@ -577,7 +510,7 @@ mod tests {
                     ..DiagnosisConfig::default()
                 },
             );
-            assert_eq!(pooled.events, seq.events, "pool width {threads}");
+            assert_eq!(pooled.events(), seq.events(), "pool width {threads}");
             assert_eq!(pooled.failures, seq.failures, "pool width {threads}");
             assert_eq!(
                 pooled.skipped_lines, seq.skipped_lines,
@@ -595,13 +528,13 @@ mod tests {
         hpc_logs::fs::save_archive(&out.archive, &dir).unwrap();
         let streamed = Diagnosis::from_dir(&dir, DiagnosisConfig::default()).unwrap();
         let in_memory = Diagnosis::from_archive(&out.archive, DiagnosisConfig::default());
-        assert_eq!(streamed.events, in_memory.events);
+        assert_eq!(streamed.events(), in_memory.events());
         assert_eq!(streamed.failures, in_memory.failures);
         assert_eq!(streamed.skipped_lines, in_memory.skipped_lines);
         // Missing streams load as empty, like load_archive.
         std::fs::remove_dir_all(dir.join("controller")).unwrap();
         let partial = Diagnosis::from_dir(&dir, DiagnosisConfig::default()).unwrap();
-        assert!(partial.events.len() < in_memory.events.len());
+        assert!(partial.events().len() < in_memory.events().len());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -728,7 +661,7 @@ mod tests {
     fn empty_archive_diagnoses_to_nothing() {
         let archive = hpc_logs::LogArchive::new(hpc_platform::system::SchedulerKind::Slurm);
         let d = Diagnosis::from_archive(&archive, DiagnosisConfig::default());
-        assert!(d.events.is_empty());
+        assert!(d.events().is_empty());
         assert!(d.failures.is_empty());
         assert!(d.swos.is_empty());
         assert_eq!(

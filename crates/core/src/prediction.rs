@@ -123,10 +123,12 @@ pub fn evaluate(d: &Diagnosis, config: &PredictorConfig) -> Evaluation {
     let mut tp = 0;
     let mut fp = 0;
     for a in &alerts {
+        // Binary search on the store's per-node failure-time index; alerts
+        // have no −2 min slack (strictly causal, unlike fails_within).
         let hit = d
-            .failures
-            .iter()
-            .any(|f| f.node == a.node && f.time >= a.time && f.time <= a.time + config.horizon);
+            .store()
+            .first_failure_in(a.node, a.time, a.time + config.horizon)
+            .is_some();
         if hit {
             tp += 1;
         } else {
@@ -288,7 +290,14 @@ impl AlertRaiser {
 pub fn raise_alerts(d: &Diagnosis, config: &PredictorConfig) -> Vec<Alert> {
     let mut raiser = AlertRaiser::new(*config);
     let mut alerts = Vec::new();
-    for e in &d.events {
+    // Only the trigger classes can alert ([`alert_trigger`] returns `None`
+    // for everything else, and `offer` has no side effects on non-trigger
+    // events), so the chronological merge of those posting lists replaces
+    // the full-event scan.
+    for e in d
+        .store()
+        .classes_events(crate::store::EventClass::ALERT_TRIGGERS)
+    {
         let alert = raiser.offer(e, |node| {
             let probe = DetectedFailure {
                 node,
@@ -479,7 +488,7 @@ mod tests {
             let batch = raise_alerts(&d, &cfg);
             let mut raiser = AlertRaiser::new(cfg);
             let mut streamed = Vec::new();
-            for e in &d.events {
+            for e in d.events() {
                 streamed.extend(raiser.offer(e, |node| {
                     let probe = DetectedFailure {
                         node,

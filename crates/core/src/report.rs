@@ -240,7 +240,7 @@ pub fn render_summary(d: &Diagnosis, jobs: &JobLog) -> String {
     let mut s = String::new();
     s.push_str(&format!(
         "window: {from} .. {to}\nevents: {}   skipped lines: {}\nfailures: {}\n",
-        d.events.len(),
+        d.events().len(),
         d.skipped_lines,
         d.failures.len()
     ));
@@ -262,6 +262,46 @@ pub fn render_summary(d: &Diagnosis, jobs: &JobLog) -> String {
         leads.enhanceable_percent(),
         leads.enhancement_factor()
     ));
+    s
+}
+
+/// The complete five-section report `hpc-diagnose` prints on stdout:
+/// summary, root-cause breakdown, lead-time analysis, case studies and
+/// operator advisories. One string so batch tooling, benches and the
+/// golden-report CI check all render through the same code path.
+pub fn full_report(d: &Diagnosis, jobs: &JobLog) -> String {
+    use crate::root_cause::{CauseBreakdown, Fig16Bucket};
+    let mut s = String::new();
+    s.push_str("=== summary ===\n");
+    s.push_str(&render_summary(d, jobs));
+
+    s.push_str("\n=== root-cause breakdown ===\n");
+    let b = CauseBreakdown::compute(d);
+    for bucket in Fig16Bucket::ALL {
+        s.push_str(&format!(
+            "  {:<9} {:5.1}%\n",
+            bucket.name(),
+            b.bucket_percent(bucket)
+        ));
+    }
+
+    s.push_str("\n=== lead-time analysis ===\n");
+    let l = crate::lead_time::summarize(&lead_times(d));
+    s.push_str(&format!(
+        "  internal lead {:.1} min | external lead {:.1} min | factor {:.1}x | enhanceable {:.1}%\n",
+        l.mean_internal_mins,
+        l.mean_external_mins,
+        l.enhancement_factor(),
+        l.enhanceable_percent()
+    ));
+
+    s.push_str("\n=== case studies ===\n");
+    s.push_str(&render_case_studies(&case_studies(d, jobs)));
+
+    s.push_str("\n=== advisories ===\n");
+    s.push_str(&crate::advisor::render_advisories(&crate::advisor::advise(
+        d, jobs,
+    )));
     s
 }
 

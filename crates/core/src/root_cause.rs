@@ -405,7 +405,8 @@ pub struct PatternCensus {
 }
 
 impl PatternCensus {
-    /// Scans all console events.
+    /// Tallies the console posting lists of the store (every console
+    /// class: any console activity makes a node count as "seen").
     pub fn compute(d: &Diagnosis) -> PatternCensus {
         #[derive(Default)]
         struct Flags {
@@ -416,7 +417,7 @@ impl PatternCensus {
             hw: bool,
         }
         let mut per_node: BTreeMap<NodeId, Flags> = BTreeMap::new();
-        for e in &d.events {
+        for e in d.store().classes_events(crate::store::EventClass::CONSOLE) {
             let Payload::Console { node, detail } = &e.payload else {
                 continue;
             };

@@ -33,7 +33,7 @@ fn base() -> &'static Diagnosis {
 /// order-preserving interleaving.
 fn random_interleaving(seed: u64) -> Vec<LogEvent> {
     let mut streams: [std::collections::VecDeque<LogEvent>; 4] = Default::default();
-    for e in &base().events {
+    for e in base().events() {
         let idx = LogSource::ALL
             .iter()
             .position(|&s| s == e.source())
@@ -41,7 +41,7 @@ fn random_interleaving(seed: u64) -> Vec<LogEvent> {
         streams[idx].push_back(e.clone());
     }
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut out = Vec::with_capacity(base().events.len());
+    let mut out = Vec::with_capacity(base().events().len());
     while let Some(min_time) = streams
         .iter()
         .filter_map(|s| s.front())
@@ -67,7 +67,7 @@ proptest! {
     fn evaluation_invariant_under_stream_interleavings(seed in 0u64..1_000) {
         let d0 = base();
         let events = random_interleaving(seed);
-        prop_assert_eq!(events.len(), d0.events.len());
+        prop_assert_eq!(events.len(), d0.events().len());
         prop_assert!(events.windows(2).all(|w| w[0].time <= w[1].time));
         let d = Diagnosis::from_events(events, d0.skipped_lines, d0.config);
         prop_assert_eq!(&d.failures, &d0.failures);

@@ -15,7 +15,7 @@
 //! * For each node, continuation lines (`Call Trace:` headers and
 //!   well-formed stack frames) arriving **before the chunk has seen any
 //!   non-continuation line from that node** are set aside as
-//!   [`Deferred`] items — whether they extend a straddling report or are
+//!   deferred items — whether they extend a straddling report or are
 //!   orphans to be skipped is only decided at stitch time.
 //! * The first non-continuation line from a node is recorded as a
 //!   *resolution* (with its position in the chunk's event list): if a

@@ -1,8 +1,9 @@
 //! Sliding-window state: the O(window) replacement for the batch
 //! pipeline's full-history event indexes.
 //!
-//! The batch [`hpc_diagnosis::Diagnosis`] keeps every event in memory and
-//! builds dense per-node / per-blade indexes over all of them. A monitor
+//! The batch [`hpc_diagnosis::Diagnosis`] owns an
+//! [`hpc_diagnosis::EventStore`] that keeps every event in memory and
+//! builds per-class / per-entity posting lists over all of them. A monitor
 //! that runs for months cannot: the [`SlidingWindow`] retains only what the
 //! online predictor and the hotness views actually consult —
 //!
@@ -12,13 +13,17 @@
 //! * per-cabinet external timestamps (hotness only),
 //!
 //! and evicts everything older than the configured window on
-//! [`SlidingWindow::advance`]. Memory is therefore proportional to event
-//! density × window length, independent of stream lifetime.
-
-use std::collections::{HashMap, VecDeque};
+//! [`SlidingWindow::advance`]. The state is backed by the *same*
+//! [`EntityIndex`]/[`Postings`] types as the batch store — their
+//! [`VecDeque`](std::collections::VecDeque) columns binary-search time
+//! ranges for the batch side and pop the front in O(1) for this side —
+//! so a lookback query here and a `*_between` query there run the same
+//! code. Memory is proportional to event density × window length,
+//! independent of stream lifetime.
 
 use hpc_diagnosis::detection::{DetectedFailure, TerminalKind};
 use hpc_diagnosis::lead_time::{is_external_indicator, is_indicative_internal};
+use hpc_diagnosis::{EntityIndex, Postings};
 use hpc_logs::event::{ControllerScope, LogEvent, Payload};
 use hpc_logs::time::{SimDuration, SimTime};
 use hpc_platform::{BladeId, CabinetId, NodeId};
@@ -27,9 +32,9 @@ use hpc_platform::{BladeId, CabinetId, NodeId};
 #[derive(Debug)]
 pub struct SlidingWindow {
     window: SimDuration,
-    node_indicators: HashMap<NodeId, VecDeque<SimTime>>,
-    blade_external: HashMap<BladeId, VecDeque<LogEvent>>,
-    cabinet_external: HashMap<CabinetId, VecDeque<SimTime>>,
+    node_indicators: EntityIndex<NodeId, ()>,
+    blade_external: EntityIndex<BladeId, LogEvent>,
+    cabinet_external: EntityIndex<CabinetId, ()>,
     retained: usize,
     peak_retained: usize,
     evicted: u64,
@@ -40,9 +45,9 @@ impl SlidingWindow {
     pub fn new(window: SimDuration) -> SlidingWindow {
         SlidingWindow {
             window,
-            node_indicators: HashMap::new(),
-            blade_external: HashMap::new(),
-            cabinet_external: HashMap::new(),
+            node_indicators: EntityIndex::new(),
+            blade_external: EntityIndex::new(),
+            cabinet_external: EntityIndex::new(),
             retained: 0,
             peak_retained: 0,
             evicted: 0,
@@ -60,10 +65,7 @@ impl SlidingWindow {
         match &event.payload {
             Payload::Console { node, .. } => {
                 if is_indicative_internal(event) {
-                    self.node_indicators
-                        .entry(*node)
-                        .or_default()
-                        .push_back(event.time);
+                    self.node_indicators.push(*node, event.time, ());
                     self.retained += 1;
                 }
             }
@@ -73,18 +75,12 @@ impl SlidingWindow {
                 // cabinet.
                 ControllerScope::Blade(_) => {
                     if let Some(blade) = event.subject_blade() {
-                        self.blade_external
-                            .entry(blade)
-                            .or_default()
-                            .push_back(event.clone());
+                        self.blade_external.push(blade, event.time, event.clone());
                         self.retained += 1;
                     }
                 }
                 ControllerScope::Cabinet(c) => {
-                    self.cabinet_external
-                        .entry(*c)
-                        .or_default()
-                        .push_back(event.time);
+                    self.cabinet_external.push(*c, event.time, ());
                     self.retained += 1;
                 }
             },
@@ -96,58 +92,33 @@ impl SlidingWindow {
     /// Whether `node`'s blade logged an external indicator within
     /// `[at − lookback, at]` — the sliding-window equivalent of the batch
     /// `blade_external_between(blade, at − lookback, at + 1ms)` +
-    /// [`is_external_indicator`] query. Requires `lookback` ≤ the window
-    /// length (enforced by the engine's config clamp), else evicted events
-    /// would silently widen the answer to "no".
+    /// [`is_external_indicator`] query, down to sharing the posting-list
+    /// range search. Requires `lookback` ≤ the window length (enforced by
+    /// the engine's config clamp), else evicted events would silently
+    /// widen the answer to "no".
     pub fn backed_by_external(&self, node: NodeId, at: SimTime, lookback: SimDuration) -> bool {
         debug_assert!(
             lookback <= self.window,
             "lookback {lookback:?} exceeds window {:?}",
             self.window
         );
-        let Some(deque) = self.blade_external.get(&node.blade()) else {
-            return false;
-        };
         let probe = DetectedFailure {
             node,
             time: at,
             terminal: TerminalKind::SchedulerDown,
         };
         let from = at.saturating_sub(lookback);
-        // Newest-first: the correlate is usually recent, and the scan stops
-        // at the first event older than the lookback.
-        deque
-            .iter()
-            .rev()
-            .take_while(|e| e.time >= from)
-            .any(|e| e.time <= at && is_external_indicator(e, &probe))
+        self.blade_external
+            .range(&node.blade(), from, at + SimDuration::from_millis(1))
+            .any(|e| is_external_indicator(e, &probe))
     }
 
     /// Evicts everything older than `now − window`.
     pub fn advance(&mut self, now: SimTime) {
         let cutoff = now.saturating_sub(self.window);
-        let mut dropped = 0usize;
-        self.node_indicators.retain(|_, dq| {
-            while dq.front().is_some_and(|&t| t < cutoff) {
-                dq.pop_front();
-                dropped += 1;
-            }
-            !dq.is_empty()
-        });
-        self.blade_external.retain(|_, dq| {
-            while dq.front().is_some_and(|e| e.time < cutoff) {
-                dq.pop_front();
-                dropped += 1;
-            }
-            !dq.is_empty()
-        });
-        self.cabinet_external.retain(|_, dq| {
-            while dq.front().is_some_and(|&t| t < cutoff) {
-                dq.pop_front();
-                dropped += 1;
-            }
-            !dq.is_empty()
-        });
+        let dropped = self.node_indicators.evict_before(cutoff)
+            + self.blade_external.evict_before(cutoff)
+            + self.cabinet_external.evict_before(cutoff);
         self.retained -= dropped;
         self.evicted += dropped as u64;
     }
@@ -175,18 +146,21 @@ impl SlidingWindow {
     /// The blade with the most retained external events right now, if any —
     /// the live analogue of the batch faulty-blade ranking.
     pub fn hottest_blade(&self) -> Option<(BladeId, usize)> {
-        self.blade_external
-            .iter()
-            .map(|(b, dq)| (*b, dq.len()))
-            .max_by_key(|&(b, n)| (n, std::cmp::Reverse(b)))
+        Self::hottest(&self.blade_external)
     }
 
     /// The cabinet with the most retained external events right now.
     pub fn hottest_cabinet(&self) -> Option<(CabinetId, usize)> {
-        self.cabinet_external
+        Self::hottest(&self.cabinet_external)
+    }
+
+    fn hottest<K: Ord + Copy + std::hash::Hash, V>(
+        index: &EntityIndex<K, V>,
+    ) -> Option<(K, usize)> {
+        index
             .iter()
-            .map(|(c, dq)| (*c, dq.len()))
-            .max_by_key(|&(c, n)| (n, std::cmp::Reverse(c)))
+            .map(|(k, p): (&K, &Postings<V>)| (*k, p.len()))
+            .max_by_key(|&(k, n)| (n, std::cmp::Reverse(k)))
     }
 }
 

@@ -43,7 +43,7 @@ fn main() {
     // Trace-origin census over all oopses in the window.
     println!("\n=== kernel-oops trace origins (first-frames heuristic) ===");
     let mut counts = std::collections::BTreeMap::new();
-    for e in &d.events {
+    for e in d.events() {
         if let Payload::Console {
             detail: ConsoleDetail::KernelOops { modules, .. },
             ..

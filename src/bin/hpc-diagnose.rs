@@ -29,11 +29,8 @@ use hpc_node_failures::logs::parse::guess_source;
 use hpc_node_failures::logs::LogArchive;
 use hpc_node_failures::platform::system::SchedulerKind;
 
-use hpc_node_failures::diagnosis::advisor::{advise, render_advisories};
 use hpc_node_failures::diagnosis::jobs::JobLog;
-use hpc_node_failures::diagnosis::lead_time::{lead_times, summarize};
 use hpc_node_failures::diagnosis::report;
-use hpc_node_failures::diagnosis::root_cause::{CauseBreakdown, Fig16Bucket};
 use hpc_node_failures::diagnosis::{Diagnosis, DiagnosisConfig};
 use hpc_node_failures::telemetry;
 
@@ -114,34 +111,7 @@ fn main() {
         );
     }
     let jobs = JobLog::from_diagnosis(&d);
-
-    println!("=== summary ===");
-    print!("{}", report::render_summary(&d, &jobs));
-
-    println!("\n=== root-cause breakdown ===");
-    let b = CauseBreakdown::compute(&d);
-    for bucket in Fig16Bucket::ALL {
-        println!("  {:<9} {:5.1}%", bucket.name(), b.bucket_percent(bucket));
-    }
-
-    println!("\n=== lead-time analysis ===");
-    let s = summarize(&lead_times(&d));
-    println!(
-        "  internal lead {:.1} min | external lead {:.1} min | factor {:.1}x | enhanceable {:.1}%",
-        s.mean_internal_mins,
-        s.mean_external_mins,
-        s.enhancement_factor(),
-        s.enhanceable_percent()
-    );
-
-    println!("\n=== case studies ===");
-    print!(
-        "{}",
-        report::render_case_studies(&report::case_studies(&d, &jobs))
-    );
-
-    println!("\n=== advisories ===");
-    print!("{}", render_advisories(&advise(&d, &jobs)));
+    print!("{}", report::full_report(&d, &jobs));
 
     let snapshot = telemetry::snapshot();
     eprintln!("\n--- telemetry ---");

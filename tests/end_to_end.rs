@@ -69,7 +69,11 @@ fn diagnosis_is_deterministic_end_to_end() {
     let run = |seed| {
         let out = Scenario::new(SystemId::S1, 2, 5, seed).run();
         let d = Diagnosis::from_archive(&out.archive, DiagnosisConfig::default());
-        (out.archive.total_lines(), d.failures, d.events.len())
+        (
+            out.archive.total_lines(),
+            d.failures.clone(),
+            d.events().len(),
+        )
     };
     assert_eq!(run(7), run(7));
     assert_ne!(run(7).1, run(8).1);

@@ -32,7 +32,7 @@ fn corrupted_lines_are_skipped_not_fatal() {
         clean.failures, dirty.failures,
         "corruption must not change findings"
     );
-    assert_eq!(clean.events, dirty.events);
+    assert_eq!(clean.events(), dirty.events());
 }
 
 #[test]
@@ -73,7 +73,7 @@ fn truncated_log_window_still_parses() {
     let d = Diagnosis::from_archive(&truncated, DiagnosisConfig::default());
     // Parses without panic; most lines still recognised (a truncated
     // JobStart list etc. may be dropped).
-    assert!(d.events.len() > 100);
+    assert!(d.events().len() > 100);
 }
 
 #[test]
@@ -103,6 +103,6 @@ fn sequential_ingest_is_a_faithful_fallback() {
             ..DiagnosisConfig::default()
         },
     );
-    assert_eq!(par.events, seq.events);
+    assert_eq!(par.events(), seq.events());
     assert_eq!(par.failures, seq.failures);
 }

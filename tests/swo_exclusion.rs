@@ -51,7 +51,7 @@ fn anomalous_swos_are_recognised_and_excluded() {
 fn intended_shutdowns_never_become_failures() {
     let out = swo_scenario(2).run();
     let d = Diagnosis::from_archive(&out.archive, DiagnosisConfig::default());
-    let intended = intended_shutdown_count(&d.events);
+    let intended = intended_shutdown_count(d.events());
     if out.truth.swos.iter().any(|s| s.intended) {
         // An intended SWO gracefully shuts down ~40–70% of 384 nodes.
         assert!(intended > 100, "only {intended} intended shutdowns seen");

@@ -44,7 +44,7 @@ fn pipeline_run_populates_all_stage_metrics() {
         "core.ingest.merge",
         "core.detect",
         "core.swo.partition",
-        "core.index",
+        "core.store.index",
         "core.root_cause.classify_all",
         "core.lead_time.compute",
         "core.external.correspondence",
@@ -62,12 +62,25 @@ fn pipeline_run_populates_all_stage_metrics() {
     }
 
     // Ingest counts agree with what the pipeline returned.
-    assert_eq!(snap.counter("ingest.events"), Some(d.events.len() as u64));
+    assert_eq!(snap.counter("ingest.events"), Some(d.events().len() as u64));
     assert_eq!(snap.counter("ingest.skipped_lines"), Some(d.skipped_lines));
     assert_eq!(
         snap.counter("ingest.lines"),
         Some(out.archive.total_lines())
     );
+    // The store indexed every merged event, and the analyses above
+    // answered through it: indexed queries touch no more events than the
+    // full scans they replaced would have.
+    assert_eq!(
+        snap.gauge("core.store.events"),
+        Some(d.events().len() as f64)
+    );
+    assert!(snap.counter("core.store.queries").unwrap() >= 1);
+    assert!(
+        snap.counter("core.store.events.indexed").unwrap()
+            <= snap.counter("core.store.events.scanned").unwrap()
+    );
+
     // Per-source lines sum to the total.
     let per_source: u64 = ["console", "controller", "erd", "scheduler"]
         .iter()
