@@ -1,0 +1,532 @@
+//! Chaos-ingestion campaign runner: corruption matrix × consumer, with a
+//! pass/fail scorecard.
+//!
+//! ```text
+//! hpc-chaos [--seed N] [--days N] [--cabinets N] [--json <path>]
+//! ```
+//!
+//! Renders one simulated archive (S1, default 2 cabinets × 7 days, seed
+//! 42), then runs every cell of the corruption matrix — each
+//! [`Pathology`] at light and heavy intensity, plus an all-pathologies
+//! mix — through the batch pipeline (`Diagnosis::from_dir` over a
+//! corrupted on-disk archive) and the mixed cells through the streaming
+//! engine. Each cell asserts the degradation contract of DESIGN.md §10:
+//!
+//! * **no panic** anywhere in ingest or diagnosis;
+//! * **bounded loss**: lines skipped and events lost relative to the
+//!   clean feed never exceed `injected corruptions × RECORD_SLACK`,
+//!   and events gained never exceed `duplicated lines × RECORD_SLACK`;
+//! * **clean is exact**: the zero-corruption batch cell reproduces the
+//!   golden report byte-identically (and matches the in-memory pipeline),
+//!   and the zero-corruption stream cell reproduces batch detection;
+//! * **alerts still flow**: every cell still detects failures.
+//!
+//! The text scorecard goes to stdout; `--json` writes it as JSON for CI
+//! assertions. Exit code 0 iff every cell passed.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::process::exit;
+
+use hpc_diagnosis::jobs::JobLog;
+use hpc_diagnosis::prediction::raise_alerts;
+use hpc_diagnosis::report;
+use hpc_diagnosis::{Diagnosis, DiagnosisConfig};
+use hpc_faultsim::chaos::{ChaosFeed, ChaosSpec, Intensity, Pathology, RECORD_SLACK};
+use hpc_faultsim::Scenario;
+use hpc_logs::parse::split_timestamp;
+use hpc_logs::time::SimTime;
+use hpc_logs::{LogArchive, LogSource};
+use hpc_platform::SystemId;
+use hpc_stream::{StreamConfig, StreamEngine};
+
+fn usage() -> ! {
+    eprintln!("usage: hpc-chaos [--seed <n>] [--days <n>] [--cabinets <n>] [--json <path>]");
+    exit(2)
+}
+
+struct Options {
+    seed: u64,
+    days: u64,
+    cabinets: u32,
+    json: Option<String>,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        seed: 42,
+        days: 7,
+        cabinets: 2,
+        json: None,
+    };
+    let mut args = std::env::args().skip(1);
+    let value = |args: &mut dyn Iterator<Item = String>| args.next().unwrap_or_else(|| usage());
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => opts.seed = value(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--days" => opts.days = value(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--cabinets" => opts.cabinets = value(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--json" => opts.json = Some(value(&mut args)),
+            _ => usage(),
+        }
+    }
+    opts
+}
+
+/// One scorecard row.
+struct Cell {
+    mode: &'static str, // "batch" | "stream"
+    pathology: String,  // "clean", a pathology key, or "mixed"
+    intensity: String,  // "-", "light", "heavy"
+    lines: u64,
+    corruptions: u64,
+    skipped: u64,
+    events: u64,
+    failures: u64,
+    events_lost: u64,
+    events_gained: u64,
+    /// Clean batch cell only: report byte-identical to the golden fixture.
+    golden_identical: Option<bool>,
+    violations: Vec<String>,
+}
+
+impl Cell {
+    fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Clean-feed baseline the corrupted cells are judged against.
+struct Baseline {
+    batch_events: u64,
+    batch_skipped: u64,
+    stream_events: u64,
+}
+
+fn cell_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("hpc-chaos-{}-{tag}", std::process::id()))
+}
+
+/// The corruption bound every consumer must honour: each injected
+/// corruption may cost (or, for duplication, add) at most one
+/// `RECORD_SLACK`-line record.
+fn check_bounds(cell: &mut Cell, ledger: &hpc_faultsim::ChaosLedger, clean_events: u64) {
+    cell.events_lost = clean_events.saturating_sub(cell.events);
+    cell.events_gained = cell.events.saturating_sub(clean_events);
+    if cell.skipped > ledger.max_skipped_lines() {
+        cell.violations.push(format!(
+            "skipped {} > bound {}",
+            cell.skipped,
+            ledger.max_skipped_lines()
+        ));
+    }
+    if cell.events_lost > ledger.max_events_lost() {
+        cell.violations.push(format!(
+            "events lost {} > bound {}",
+            cell.events_lost,
+            ledger.max_events_lost()
+        ));
+    }
+    if cell.events_gained > ledger.max_events_gained() {
+        cell.violations.push(format!(
+            "events gained {} > bound {}",
+            cell.events_gained,
+            ledger.max_events_gained()
+        ));
+    }
+    if cell.failures == 0 {
+        cell.violations
+            .push("no failures detected — alerting is dead".into());
+    }
+}
+
+/// Runs one batch cell: corrupt → write to disk → `Diagnosis::from_dir`.
+/// `golden` carries (fixture report, in-memory report) for the clean cell.
+fn run_batch_cell(
+    archive: &LogArchive,
+    spec: &ChaosSpec,
+    pathology: &str,
+    intensity: &str,
+    baseline: Option<&Baseline>,
+    golden: Option<(&str, &str)>,
+) -> Cell {
+    let mut cell = Cell {
+        mode: "batch",
+        pathology: pathology.to_string(),
+        intensity: intensity.to_string(),
+        lines: 0,
+        corruptions: 0,
+        skipped: 0,
+        events: 0,
+        failures: 0,
+        events_lost: 0,
+        events_gained: 0,
+        golden_identical: None,
+        violations: Vec::new(),
+    };
+    let feed = ChaosFeed::corrupt(archive, spec);
+    let ledger = *feed.ledger();
+    cell.lines = ledger.lines_out;
+    cell.corruptions = ledger.corruptions();
+    let dir = cell_dir(&format!("batch-{pathology}-{intensity}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    if let Err(e) = feed.write_dir(&dir) {
+        cell.violations.push(format!("write_dir failed: {e}"));
+        return cell;
+    }
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        Diagnosis::from_dir(&dir, DiagnosisConfig::default())
+    }));
+    match outcome {
+        Err(_) => cell.violations.push("panicked during diagnosis".into()),
+        Ok(Err(e)) => cell.violations.push(format!("diagnosis failed: {e}")),
+        Ok(Ok(d)) => {
+            cell.skipped = d.skipped_lines;
+            cell.events = d.events().len() as u64;
+            cell.failures = d.failures.len() as u64;
+            if let Some(base) = baseline {
+                check_bounds(&mut cell, &ledger, base.batch_events);
+            }
+            if let Some((fixture, in_memory)) = golden {
+                // Zero corruption ⇒ the on-disk byte path reproduces the
+                // in-memory pipeline and the golden capture exactly.
+                let jobs = JobLog::from_diagnosis(&d);
+                let got = report::full_report(&d, &jobs);
+                if got != in_memory {
+                    cell.violations
+                        .push("clean from_dir report != in-memory report".into());
+                }
+                let identical = !fixture.is_empty() && got == fixture;
+                cell.golden_identical = Some(identical);
+                if !fixture.is_empty() && !identical {
+                    cell.violations
+                        .push("clean report != golden fixture".into());
+                }
+                if cell.corruptions != 0 || cell.skipped != 0 {
+                    cell.violations.push(format!(
+                        "clean cell not clean: {} corruptions, {} skipped",
+                        cell.corruptions, cell.skipped
+                    ));
+                }
+                if cell.failures == 0 {
+                    cell.violations.push("clean cell found no failures".into());
+                }
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    cell
+}
+
+/// Feeds a corrupted feed's lines to the engine in global timestamp order
+/// with per-source FIFO preserved — the arrival order of a live merged
+/// feed (same discipline as `FollowDir::poll_into`).
+fn feed_time_aligned(engine: &mut StreamEngine, lines: &[Vec<String>; 4]) {
+    let mut idx = [0usize; 4];
+    let mut clock = [SimTime::EPOCH; 4];
+    loop {
+        let mut best: Option<(SimTime, usize)> = None;
+        for si in 0..4 {
+            let Some(line) = lines[si].get(idx[si]) else {
+                continue;
+            };
+            let t = split_timestamp(line).map_or(clock[si], |(t, _)| t);
+            if best.is_none_or(|b| (t, si) < b) {
+                best = Some((t, si));
+            }
+        }
+        let Some((t, si)) = best else { break };
+        clock[si] = t;
+        engine.push_line(LogSource::ALL[si], &lines[si][idx[si]]);
+        idx[si] += 1;
+    }
+}
+
+/// Runs one stream cell. For the clean cell (`batch_reference` set) the
+/// engine must reproduce batch detection exactly with nothing late.
+fn run_stream_cell(
+    archive: &LogArchive,
+    spec: &ChaosSpec,
+    pathology: &str,
+    intensity: &str,
+    baseline: Option<&Baseline>,
+    batch_reference: Option<&Diagnosis>,
+) -> Cell {
+    let mut cell = Cell {
+        mode: "stream",
+        pathology: pathology.to_string(),
+        intensity: intensity.to_string(),
+        lines: 0,
+        corruptions: 0,
+        skipped: 0,
+        events: 0,
+        failures: 0,
+        events_lost: 0,
+        events_gained: 0,
+        golden_identical: None,
+        violations: Vec::new(),
+    };
+    let feed = ChaosFeed::corrupt(archive, spec);
+    let ledger = *feed.ledger();
+    cell.lines = ledger.lines_out;
+    cell.corruptions = ledger.corruptions();
+    let mut lines: [Vec<String>; 4] = Default::default();
+    for (si, source) in LogSource::ALL.into_iter().enumerate() {
+        lines[si] = feed.lossy_lines(source).collect();
+    }
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        // SWO exclusion is a batch post-pass; the online engine reproduces
+        // raw detection, so the clean cell compares against that.
+        let mut engine = StreamEngine::new(StreamConfig::default());
+        feed_time_aligned(&mut engine, &lines);
+        engine.finish();
+        engine
+    }));
+    match outcome {
+        Err(_) => cell.violations.push("panicked during streaming".into()),
+        Ok(engine) => {
+            let stats = engine.stats();
+            // Late-dropped events count as loss here: the merger skipped
+            // them, so they never became events.
+            cell.skipped = stats.skipped_lines;
+            cell.events = stats.events;
+            cell.failures = stats.failures;
+            if let Some(base) = baseline {
+                check_bounds(&mut cell, &ledger, base.stream_events);
+            }
+            if let Some(batch) = batch_reference {
+                if stats.late_events != 0 {
+                    cell.violations
+                        .push(format!("clean replay dropped {} late", stats.late_events));
+                }
+                if engine.failures() != batch.failures.as_slice() {
+                    cell.violations
+                        .push("clean replay failures != batch detection".into());
+                }
+                let batch_alerts = raise_alerts(batch, &engine.config().predictor);
+                if engine.alerts() != batch_alerts.as_slice() {
+                    cell.violations
+                        .push("clean replay alerts != batch alerts".into());
+                }
+                if cell.failures == 0 {
+                    cell.violations.push("clean cell found no failures".into());
+                }
+            }
+        }
+    }
+    cell
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn scorecard_json(opts: &Options, cells: &[Cell]) -> String {
+    let mut out = String::new();
+    let passed = cells.iter().filter(|c| c.passed()).count();
+    out.push_str(&format!(
+        "{{\n  \"system\": \"S1\",\n  \"seed\": {},\n  \"cabinets\": {},\n  \"days\": {},\n  \
+         \"record_slack\": {RECORD_SLACK},\n  \"passed\": {passed},\n  \"failed\": {},\n  \
+         \"cells\": [\n",
+        opts.seed,
+        opts.cabinets,
+        opts.days,
+        cells.len() - passed,
+    ));
+    for (i, c) in cells.iter().enumerate() {
+        let golden = match c.golden_identical {
+            None => "null".to_string(),
+            Some(b) => b.to_string(),
+        };
+        let violations: Vec<String> = c
+            .violations
+            .iter()
+            .map(|v| format!("\"{}\"", json_escape(v)))
+            .collect();
+        out.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"pathology\": \"{}\", \"intensity\": \"{}\", \
+             \"lines\": {}, \"corruptions\": {}, \"skipped\": {}, \"events\": {}, \
+             \"failures\": {}, \"events_lost\": {}, \"events_gained\": {}, \
+             \"golden_identical\": {golden}, \"passed\": {}, \"violations\": [{}]}}{}\n",
+            c.mode,
+            c.pathology,
+            c.intensity,
+            c.lines,
+            c.corruptions,
+            c.skipped,
+            c.events,
+            c.failures,
+            c.events_lost,
+            c.events_gained,
+            c.passed(),
+            violations.join(", "),
+            if i + 1 < cells.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn print_scorecard(cells: &[Cell]) {
+    println!(
+        "{:<6} {:<10} {:<6} {:>9} {:>11} {:>8} {:>8} {:>8} {:>6} {:>6}  result",
+        "mode",
+        "pathology",
+        "level",
+        "lines",
+        "corruptions",
+        "skipped",
+        "events",
+        "failures",
+        "lost",
+        "gained"
+    );
+    for c in cells {
+        println!(
+            "{:<6} {:<10} {:<6} {:>9} {:>11} {:>8} {:>8} {:>8} {:>6} {:>6}  {}",
+            c.mode,
+            c.pathology,
+            c.intensity,
+            c.lines,
+            c.corruptions,
+            c.skipped,
+            c.events,
+            c.failures,
+            c.events_lost,
+            c.events_gained,
+            if c.passed() {
+                "PASS".to_string()
+            } else {
+                format!("FAIL: {}", c.violations.join("; "))
+            }
+        );
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    eprintln!(
+        "hpc-chaos: simulating S1, {} cabinets x {} days, seed {} ...",
+        opts.cabinets, opts.days, opts.seed
+    );
+    let out = Scenario::new(SystemId::S1, opts.cabinets, opts.days, opts.seed).run();
+    let archive = out.archive;
+
+    // In-memory clean pipeline: the reference the on-disk byte path must
+    // reproduce exactly, and (for the default scenario) the golden fixture.
+    let clean = Diagnosis::from_archive(&archive, DiagnosisConfig::default());
+    let clean_jobs = JobLog::from_diagnosis(&clean);
+    let in_memory_report = report::full_report(&clean, &clean_jobs);
+    let default_scenario = opts.seed == 42 && opts.days == 7 && opts.cabinets == 2;
+    let fixture = if default_scenario {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../testdata/golden-report-s1-2c-7d-seed42.txt"
+        );
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("hpc-chaos: warning: golden fixture unreadable ({e}); skipping byte check");
+            String::new()
+        })
+    } else {
+        String::new()
+    };
+
+    let mut cells: Vec<Cell> = Vec::new();
+
+    // Clean batch cell first: it defines the loss baseline for the rest.
+    eprintln!("hpc-chaos: batch clean cell ...");
+    let clean_batch = run_batch_cell(
+        &archive,
+        &ChaosSpec::clean(opts.seed),
+        "clean",
+        "-",
+        None,
+        Some((&fixture, &in_memory_report)),
+    );
+    // Clean stream cell: streaming-vs-batch equivalence.
+    eprintln!("hpc-chaos: stream clean cell ...");
+    let batch_raw = Diagnosis::from_archive(
+        &archive,
+        DiagnosisConfig {
+            exclude_swos: false,
+            ..DiagnosisConfig::default()
+        },
+    );
+    let clean_stream = run_stream_cell(
+        &archive,
+        &ChaosSpec::clean(opts.seed),
+        "clean",
+        "-",
+        None,
+        Some(&batch_raw),
+    );
+    let baseline = Baseline {
+        batch_events: clean_batch.events,
+        batch_skipped: clean_batch.skipped,
+        stream_events: clean_stream.events,
+    };
+    if baseline.batch_skipped != 0 {
+        eprintln!(
+            "hpc-chaos: warning: clean feed skipped {} lines",
+            baseline.batch_skipped
+        );
+    }
+    cells.push(clean_batch);
+    cells.push(clean_stream);
+
+    // The corruption matrix: every pathology alone, then everything at
+    // once, at both intensities, through the batch byte path.
+    for pathology in Pathology::ALL {
+        for intensity in [Intensity::Light, Intensity::Heavy] {
+            eprintln!(
+                "hpc-chaos: batch {} / {} ...",
+                pathology.key(),
+                intensity.key()
+            );
+            cells.push(run_batch_cell(
+                &archive,
+                &ChaosSpec::single(pathology, intensity, opts.seed),
+                pathology.key(),
+                intensity.key(),
+                Some(&baseline),
+                None,
+            ));
+        }
+    }
+    for intensity in [Intensity::Light, Intensity::Heavy] {
+        eprintln!("hpc-chaos: batch mixed / {} ...", intensity.key());
+        cells.push(run_batch_cell(
+            &archive,
+            &ChaosSpec::mixed(intensity, opts.seed),
+            "mixed",
+            intensity.key(),
+            Some(&baseline),
+            None,
+        ));
+        eprintln!("hpc-chaos: stream mixed / {} ...", intensity.key());
+        cells.push(run_stream_cell(
+            &archive,
+            &ChaosSpec::mixed(intensity, opts.seed),
+            "mixed",
+            intensity.key(),
+            Some(&baseline),
+            None,
+        ));
+    }
+
+    print_scorecard(&cells);
+    if let Some(path) = &opts.json {
+        let json = scorecard_json(&opts, &cells);
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("hpc-chaos: cannot write {path}: {e}");
+            exit(1);
+        }
+        eprintln!("hpc-chaos: scorecard JSON written to {path}");
+    }
+    let failed = cells.iter().filter(|c| !c.passed()).count();
+    if failed > 0 {
+        eprintln!("hpc-chaos: {failed} of {} cells FAILED", cells.len());
+        exit(1);
+    }
+    eprintln!("hpc-chaos: all {} cells passed", cells.len());
+}

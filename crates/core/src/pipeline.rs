@@ -446,7 +446,6 @@ fn stream_file_pooled(path: &Path, source: LogSource, threads: usize) -> io::Res
         .expect("source in ALL");
     let mut chunks: Vec<ChunkParse> = Vec::new();
     for batch in hpc_logs::fs::LineBatches::open(path, CHUNK_LINES * threads * 2)? {
-        let batch = batch?;
         let tasks: Vec<ChunkTask<'_>> = chunk_spans(batch.len(), CHUNK_LINES)
             .enumerate()
             .map(|(ci, span)| ChunkTask {

@@ -15,13 +15,21 @@
 //!   chatty blades, hung tasks, link chatter (Obs. 3/4 hinge on this).
 //! * [`scenario`] — orchestration: workload + incidents + noise → one text
 //!   [`hpc_logs::LogArchive`] plus ground truth.
+//! * [`chaos`] — adversarial feed corruption: seeded log pathologies (torn
+//!   lines, garbage bytes, duplication, reordering, clock skew, dropout)
+//!   with an exact injected-corruption ledger, for hardening the ingest
+//!   and streaming paths against real-world collection failures.
 
+pub mod chaos;
 pub mod engine;
 pub mod fault;
 pub mod incidents;
 pub mod noise;
 pub mod scenario;
 
+pub use chaos::{
+    ChaosFeed, ChaosLedger, ChaosSpec, FollowStep, Intensity, Pathology, RECORD_SLACK,
+};
 pub use fault::{FailureRecord, GroundTruth, RootCauseClass, TrueRootCause};
 pub use incidents::ChainTiming;
 pub use scenario::{Scenario, ScenarioConfig, SimOutput};

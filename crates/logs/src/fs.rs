@@ -22,6 +22,46 @@ use hpc_platform::system::SchedulerKind;
 use crate::archive::LogArchive;
 use crate::event::LogSource;
 
+/// One raw line read from a log file, byte-level, with degradation rather
+/// than failure on hostile bytes (the contract of DESIGN.md §10): invalid
+/// UTF-8 is lossily sanitised and counted, and a mid-file I/O error is
+/// treated as truncation at the error point and counted — neither ever
+/// aborts ingest of the rest of the archive.
+enum RawLine {
+    Eof,
+    Line(String),
+    /// A read failed mid-file; the file is treated as ending here.
+    Truncated,
+}
+
+/// Reads one `\n`-terminated line as raw bytes, stripping trailing
+/// `\r`/`\n`. Non-UTF-8 bytes are replaced with U+FFFD and counted under
+/// `core.ingest.dropped.invalid_utf8`; read errors are counted under
+/// `core.ingest.dropped.io_error` and degrade to end-of-file.
+fn read_raw_line(reader: &mut impl BufRead, buf: &mut Vec<u8>) -> RawLine {
+    buf.clear();
+    match reader.read_until(b'\n', buf) {
+        Ok(0) => RawLine::Eof,
+        Ok(_) => {
+            while matches!(buf.last(), Some(b'\n') | Some(b'\r')) {
+                buf.pop();
+            }
+            match std::str::from_utf8(buf) {
+                Ok(s) => RawLine::Line(s.to_string()),
+                Err(_) => {
+                    hpc_telemetry::counter("core.ingest.dropped.invalid_utf8").inc();
+                    RawLine::Line(String::from_utf8_lossy(buf).into_owned())
+                }
+            }
+        }
+        Err(e) if e.kind() == io::ErrorKind::Interrupted => read_raw_line(reader, buf),
+        Err(_) => {
+            hpc_telemetry::counter("core.ingest.dropped.io_error").inc();
+            RawLine::Truncated
+        }
+    }
+}
+
 /// Relative path of a source's log file within an archive directory.
 pub fn source_path(source: LogSource, scheduler: SchedulerKind) -> PathBuf {
     match source {
@@ -79,19 +119,22 @@ pub fn detect_scheduler(root: &Path) -> SchedulerKind {
 
 /// Loads an archive from `root`. Missing files yield empty streams (the
 /// paper's "absence of certain environmental logs"); the scheduler flavour
-/// comes from [`detect_scheduler`].
+/// comes from [`detect_scheduler`]. Hostile bytes never fail the load:
+/// invalid UTF-8 is sanitised and a mid-file read error truncates that one
+/// stream at the error point, both counted under `core.ingest.dropped.*`.
 pub fn load_archive(root: &Path) -> io::Result<LogArchive> {
     let _span = hpc_telemetry::span!("logs.load_archive");
     let scheduler = detect_scheduler(root);
     let mut archive = LogArchive::new(scheduler);
+    let mut buf = Vec::new();
     for source in LogSource::ALL {
         let path = root.join(source_path(source, scheduler));
         if !path.exists() {
             continue;
         }
-        let reader = BufReader::new(fs::File::open(&path)?);
-        for line in reader.lines() {
-            archive.push_raw_line(source, line?);
+        let mut reader = BufReader::new(fs::File::open(&path)?);
+        while let RawLine::Line(line) = read_raw_line(&mut reader, &mut buf) {
+            archive.push_raw_line(source, line);
         }
     }
     Ok(archive)
@@ -102,18 +145,12 @@ pub fn load_archive(root: &Path) -> io::Result<LogArchive> {
 /// (sorted by time) and the count of unrecognised lines.
 pub fn parse_file(path: &Path, source: LogSource) -> io::Result<(Vec<crate::LogEvent>, u64)> {
     use crate::parse::LogParser;
-    let reader = BufReader::new(fs::File::open(path)?);
+    let mut reader = BufReader::new(fs::File::open(path)?);
     let mut parser = LogParser::new();
     let mut out = Vec::new();
-    let mut line = String::new();
-    let mut reader = reader;
-    loop {
-        line.clear();
-        if reader.read_line(&mut line)? == 0 {
-            break;
-        }
-        let trimmed = line.trim_end_matches(['\n', '\r']);
-        parser.parse_line(source, trimmed, &mut out);
+    let mut buf = Vec::new();
+    while let RawLine::Line(line) = read_raw_line(&mut reader, &mut buf) {
+        parser.parse_line(source, &line, &mut out);
     }
     parser.finish(&mut out);
     out.sort_by_key(|e| e.time);
@@ -141,23 +178,25 @@ impl LineBatches {
 }
 
 impl Iterator for LineBatches {
-    type Item = io::Result<Vec<String>>;
+    /// Batches of sanitised lines. Hostile bytes degrade per the §10
+    /// contract rather than surfacing as `Err`: invalid UTF-8 is lossily
+    /// replaced and a mid-file read error ends the file at the error point,
+    /// both counted under `core.ingest.dropped.*`.
+    type Item = Vec<String>;
 
     fn next(&mut self) -> Option<Self::Item> {
         let mut batch = Vec::with_capacity(self.batch_lines.min(1 << 16));
-        let mut line = String::new();
+        let mut buf = Vec::new();
         while batch.len() < self.batch_lines {
-            line.clear();
-            match self.reader.read_line(&mut line) {
-                Ok(0) => break,
-                Ok(_) => batch.push(line.trim_end_matches(['\n', '\r']).to_string()),
-                Err(e) => return Some(Err(e)),
+            match read_raw_line(&mut self.reader, &mut buf) {
+                RawLine::Line(line) => batch.push(line),
+                RawLine::Eof | RawLine::Truncated => break,
             }
         }
         if batch.is_empty() {
             None
         } else {
-            Some(Ok(batch))
+            Some(batch)
         }
     }
 }
@@ -296,10 +335,7 @@ mod tests {
         let path = dir.join("log");
         let lines: Vec<String> = (0..10).map(|i| format!("line {i}")).collect();
         fs::write(&path, format!("{}\r\n", lines.join("\n"))).unwrap();
-        let batches: Vec<Vec<String>> = LineBatches::open(&path, 4)
-            .unwrap()
-            .map(|b| b.unwrap())
-            .collect();
+        let batches: Vec<Vec<String>> = LineBatches::open(&path, 4).unwrap().collect();
         assert_eq!(
             batches.iter().map(Vec::len).collect::<Vec<_>>(),
             vec![4, 4, 2]
@@ -309,6 +345,61 @@ mod tests {
         assert_eq!(LineBatches::open(&path, 0).unwrap().count(), 10);
         fs::write(&path, "").unwrap();
         assert_eq!(LineBatches::open(&path, 4).unwrap().count(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn invalid_utf8_is_sanitised_not_fatal() {
+        let dir = tmpdir("utf8");
+        let path = dir.join("console");
+        let good =
+            "2016-01-01T00:00:00.000 c0-0c0s0n0 kernel: sd 0:0:0:0: [sda] Unhandled error code";
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(good.as_bytes());
+        bytes.push(b'\n');
+        bytes.extend_from_slice(b"\x80\xFE garbage \xFF line\n");
+        bytes.extend_from_slice(good.as_bytes());
+        bytes.push(b'\n');
+        fs::write(&path, &bytes).unwrap();
+        let before = hpc_telemetry::counter("core.ingest.dropped.invalid_utf8").get();
+        // Streaming parse: good lines still parse, the garbage line is
+        // skipped (not a crash, not a file-level error).
+        let (events, skipped) = parse_file(&path, LogSource::Console).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(skipped, 1);
+        // Batched reader: all three lines come through, garbage sanitised.
+        let lines: Vec<String> = LineBatches::open(&path, 100).unwrap().flatten().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].contains('\u{FFFD}'));
+        let after = hpc_telemetry::counter("core.ingest.dropped.invalid_utf8").get();
+        assert_eq!(after - before, 2, "one count per read of the bad line");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mid_file_read_error_degrades_to_truncation() {
+        // On Linux, opening a directory succeeds but reading it fails with
+        // EISDIR — a portable-enough stand-in for a mid-file I/O error.
+        let dir = tmpdir("eisdir");
+        let a = sample_archive();
+        save_archive(&a, &dir).unwrap();
+        fs::remove_file(dir.join("p0-directory/console")).unwrap();
+        fs::create_dir_all(dir.join("p0-directory/console")).unwrap();
+        let before = hpc_telemetry::counter("core.ingest.dropped.io_error").get();
+        let b = load_archive(&dir).unwrap();
+        assert!(b.lines(LogSource::Console).is_empty());
+        assert_eq!(b.lines(LogSource::Erd), a.lines(LogSource::Erd));
+        let (events, _) =
+            parse_file(&dir.join("p0-directory/console"), LogSource::Console).unwrap();
+        assert!(events.is_empty());
+        assert_eq!(
+            LineBatches::open(&dir.join("p0-directory/console"), 4)
+                .unwrap()
+                .count(),
+            0
+        );
+        let after = hpc_telemetry::counter("core.ingest.dropped.io_error").get();
+        assert_eq!(after - before, 3, "each reader counts its own error");
         fs::remove_dir_all(&dir).unwrap();
     }
 

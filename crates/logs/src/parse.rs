@@ -689,7 +689,10 @@ pub fn guess_source(line: &str) -> Option<LogSource> {
 /// Splits the leading 23-char timestamp plus one space from a line.
 /// Public for stream consumers that track per-source clocks from raw lines.
 pub fn split_timestamp(line: &str) -> Option<(SimTime, &str)> {
-    if line.len() < 25 {
+    // The boundary check matters on hostile bytes: lossily-sanitised
+    // garbage can put a multi-byte U+FFFD across index 23, where a bare
+    // `split_at` would panic mid-char.
+    if line.len() < 25 || !line.is_char_boundary(23) {
         return None;
     }
     let (ts, rest) = line.split_at(23);
@@ -727,6 +730,25 @@ mod tests {
         }
         parser.finish(&mut out);
         assert_eq!(out, vec![event.clone()], "round-trip of {event:?}");
+    }
+
+    #[test]
+    fn split_timestamp_survives_multibyte_chars_at_the_boundary() {
+        // Lossily-sanitised garbage can place a 3-byte U+FFFD across byte
+        // 23 — exactly where the timestamp split lands. Regression: this
+        // used to panic (`split_at` mid-char) instead of returning None.
+        let junk = format!("{}\u{FFFD} trailing junk", "a".repeat(22));
+        assert!(
+            junk.len() >= 25 && !junk.is_char_boundary(23),
+            "fixture must straddle byte 23"
+        );
+        assert_eq!(split_timestamp(&junk), None);
+        let mut parser = LogParser::new();
+        let mut out = Vec::new();
+        for source in crate::event::LogSource::ALL {
+            assert!(!parser.parse_line(source, &junk, &mut out));
+        }
+        assert!(out.is_empty());
     }
 
     #[test]

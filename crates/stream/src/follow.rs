@@ -11,9 +11,17 @@
 //! global timestamp order, so catching up on an already-written archive
 //! stays within the merger's watermark instead of dropping three of the
 //! four sources as late.
+//!
+//! Misbehaving sources are quarantined, not fatal (DESIGN.md §10): a
+//! transient open/seek/read error puts that one tail into exponential
+//! backoff (2, 4, … up to 64 polls) while the other sources keep
+//! flowing, and the first successful poll re-admits it with its read
+//! offset intact. Invalid UTF-8 is sanitised and counted. All of it is
+//! accounted in [`FollowStats`] and the `stream.follow.*` telemetry
+//! counters.
 
 use std::fs::File;
-use std::io::{Read, Seek, SeekFrom};
+use std::io::{self, Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
 
 use hpc_logs::event::LogSource;
@@ -22,6 +30,27 @@ use hpc_logs::parse::split_timestamp;
 use hpc_logs::time::SimTime;
 
 use crate::engine::StreamEngine;
+
+/// Longest backoff for a misbehaving source, in polls (~64 s at the
+/// default 1 s poll interval).
+const MAX_BACKOFF_POLLS: u64 = 64;
+
+/// Degradation accounting for a [`FollowDir`] (DESIGN.md §10): how often
+/// sources misbehaved and how the tailer coped. Mirrored into the
+/// `stream.follow.*` telemetry counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FollowStats {
+    /// Transient I/O errors (open/seek/read) absorbed without giving up.
+    pub io_errors: u64,
+    /// Lines containing invalid UTF-8, lossily sanitised before parsing.
+    pub invalid_utf8: u64,
+    /// Rotations/truncations detected (file shrank; re-read from start).
+    pub rotations: u64,
+    /// Error streaks that put a source into exponential backoff.
+    pub quarantines: u64,
+    /// Quarantined sources that came back and were re-admitted.
+    pub recoveries: u64,
+}
 
 /// Tail state of one source file.
 struct Tail {
@@ -33,11 +62,17 @@ struct Tail {
     /// Timestamp of the last line consumed — stands in for lines that
     /// carry no timestamp of their own when aligning the poll batch.
     clock: SimTime,
+    /// Consecutive I/O errors; nonzero means the tail is quarantined.
+    errors: u32,
+    /// Poll number at which a quarantined tail may retry.
+    retry_at: u64,
 }
 
 /// A polling tailer over the four source files under an archive root.
 pub struct FollowDir {
     tails: Vec<Tail>,
+    polls: u64,
+    stats: FollowStats,
 }
 
 impl FollowDir {
@@ -55,9 +90,19 @@ impl FollowDir {
                     offset: 0,
                     partial: Vec::new(),
                     clock: SimTime::EPOCH,
+                    errors: 0,
+                    retry_at: 0,
                 })
                 .collect(),
+            polls: 0,
+            stats: FollowStats::default(),
         }
+    }
+
+    /// Degradation accounting so far (also mirrored to `stream.follow.*`
+    /// telemetry counters).
+    pub fn stats(&self) -> FollowStats {
+        self.stats
     }
 
     /// Reads everything newly appended to every source file and feeds the
@@ -71,11 +116,18 @@ impl FollowDir {
     /// watermark. In steady state the batches are small and the merge is
     /// effectively free.
     pub fn poll_into(&mut self, engine: &mut StreamEngine) -> u64 {
+        self.polls += 1;
+        let polls = self.polls;
         let mut batches: [Vec<String>; 4] = Default::default();
         let mut fed = 0;
         for (tail, batch) in self.tails.iter_mut().zip(batches.iter_mut()) {
-            fed += tail.poll_lines(batch);
+            if tail.errors > 0 && polls < tail.retry_at {
+                continue; // quarantined — backing off until retry_at
+            }
+            fed += tail.poll_lines(batch, polls, &mut self.stats);
         }
+        hpc_telemetry::gauge("stream.follow.quarantined")
+            .set(self.tails.iter().filter(|t| t.errors > 0).count() as f64);
         let mut idx = [0usize; 4];
         loop {
             let mut best: Option<(SimTime, usize)> = None;
@@ -98,43 +150,87 @@ impl FollowDir {
 }
 
 impl Tail {
-    fn poll_lines(&mut self, batch: &mut Vec<String>) -> u64 {
-        let Ok(mut file) = File::open(&self.path) else {
-            return 0; // not created yet — retry next poll
+    /// Polls the file, absorbing transient I/O errors into quarantine
+    /// state: an error streak backs the tail off exponentially (2, 4, …
+    /// up to [`MAX_BACKOFF_POLLS`] polls between retries), and the first
+    /// success after a streak re-admits it. The read offset never advances
+    /// on an error, so no bytes are lost across a quarantine.
+    fn poll_lines(&mut self, batch: &mut Vec<String>, polls: u64, stats: &mut FollowStats) -> u64 {
+        match self.try_poll(batch, stats) {
+            Ok(fed) => {
+                if self.errors > 0 {
+                    self.errors = 0;
+                    self.retry_at = 0;
+                    stats.recoveries += 1;
+                    hpc_telemetry::counter("stream.follow.recoveries").inc();
+                }
+                fed
+            }
+            Err(_) => {
+                self.errors = self.errors.saturating_add(1);
+                stats.io_errors += 1;
+                hpc_telemetry::counter("stream.follow.io_errors").inc();
+                if self.errors == 1 {
+                    stats.quarantines += 1;
+                    hpc_telemetry::counter("stream.follow.quarantines").inc();
+                }
+                let backoff = (1u64 << self.errors.min(6)).min(MAX_BACKOFF_POLLS);
+                self.retry_at = polls + backoff;
+                0
+            }
+        }
+    }
+
+    fn try_poll(&mut self, batch: &mut Vec<String>, stats: &mut FollowStats) -> io::Result<u64> {
+        let mut file = match File::open(&self.path) {
+            Ok(f) => f,
+            // Not created yet is normal (a source can lag hours behind);
+            // anything else is a real error and starts a backoff streak.
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
+            Err(e) => return Err(e),
         };
-        let len = file.metadata().map(|m| m.len()).unwrap_or(0);
+        let meta = file.metadata()?;
+        if meta.is_dir() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "log path is a directory",
+            ));
+        }
+        let len = meta.len();
         if len < self.offset {
             // Truncated/rotated: start over.
             self.offset = 0;
             self.partial.clear();
+            stats.rotations += 1;
+            hpc_telemetry::counter("stream.follow.rotations").inc();
         }
         if len == self.offset {
-            return 0;
+            return Ok(0);
         }
-        if file.seek(SeekFrom::Start(self.offset)).is_err() {
-            return 0;
-        }
+        file.seek(SeekFrom::Start(self.offset))?;
         let mut buf = Vec::with_capacity((len - self.offset) as usize);
-        let Ok(read) = file.take(len - self.offset).read_to_end(&mut buf) else {
-            return 0;
-        };
+        let read = file.take(len - self.offset).read_to_end(&mut buf)?;
         self.offset += read as u64;
         let mut fed = 0;
         let mut rest = buf.as_slice();
         while let Some(nl) = rest.iter().position(|&b| b == b'\n') {
             let (line, tail) = rest.split_at(nl);
             rest = &tail[1..];
-            if self.partial.is_empty() {
-                batch.push(String::from_utf8_lossy(line).into_owned());
+            let complete: Vec<u8> = if self.partial.is_empty() {
+                line.to_vec()
             } else {
                 self.partial.extend_from_slice(line);
-                let whole = std::mem::take(&mut self.partial);
-                batch.push(String::from_utf8_lossy(&whole).into_owned());
+                std::mem::take(&mut self.partial)
+            };
+            if std::str::from_utf8(&complete).is_err() {
+                stats.invalid_utf8 += 1;
+                hpc_telemetry::counter("stream.follow.invalid_utf8").inc();
             }
+            batch.push(String::from_utf8_lossy(&complete).into_owned());
             fed += 1;
         }
         self.partial.extend_from_slice(rest);
-        fed
+        Ok(fed)
     }
 }
 
@@ -261,6 +357,99 @@ mod tests {
         // Rotation: the file is replaced by a shorter one.
         std::fs::write(&console, "fresh\n").unwrap();
         assert_eq!(follow.poll_into(&mut engine), 1);
+        assert_eq!(follow.stats().rotations, 1);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn rotation_mid_follow_drops_partial_and_resumes() {
+        use hpc_logs::event::{ConsoleDetail, LogEvent, Payload};
+        use hpc_logs::render::render;
+        use hpc_logs::time::SimTime;
+        use hpc_platform::system::SchedulerKind;
+        use hpc_platform::NodeId;
+
+        let root = temp_root("rotate-mid");
+        let console = root.join("p0-directory/console");
+        let mut engine = StreamEngine::new(StreamConfig::default());
+        let mut follow = FollowDir::new(&root);
+
+        let ev = |ms: u64| LogEvent {
+            time: SimTime::from_millis(ms),
+            payload: Payload::Console {
+                node: NodeId(3),
+                detail: ConsoleDetail::CpuStall { cpu: 0 },
+            },
+        };
+        let first = render(&ev(60_000), SchedulerKind::Slurm).remove(0);
+        let second = render(&ev(120_000), SchedulerKind::Slurm).remove(0);
+        let third = render(&ev(180_000), SchedulerKind::Slurm).remove(0);
+
+        // One whole line plus half of another, then the file rotates out
+        // underneath the tailer before the half ever completes.
+        let (head, _tail) = second.split_at(second.len() / 2);
+        std::fs::write(&console, format!("{first}\n{head}")).unwrap();
+        assert_eq!(follow.poll_into(&mut engine), 1);
+        std::fs::write(&console, format!("{third}\n")).unwrap();
+        assert_eq!(follow.poll_into(&mut engine), 1);
+        assert_eq!(follow.stats().rotations, 1);
+        engine.finish();
+        // The orphaned half-line must not splice onto post-rotation bytes:
+        // exactly the first and third events survive.
+        assert_eq!(engine.stats().events, 2);
+        assert_eq!(engine.stats().skipped_lines, 0);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn io_errors_quarantine_then_recover() {
+        let root = temp_root("quarantine");
+        let console = root.join("p0-directory/console");
+        let mut engine = StreamEngine::new(StreamConfig::default());
+        let mut follow = FollowDir::new(&root);
+
+        std::fs::write(&console, "one\n").unwrap();
+        assert_eq!(follow.poll_into(&mut engine), 1);
+
+        // Swap the file for a directory: open succeeds, reading fails —
+        // a deterministic stand-in for a transient I/O fault.
+        std::fs::remove_file(&console).unwrap();
+        std::fs::create_dir(&console).unwrap();
+        assert_eq!(follow.poll_into(&mut engine), 0);
+        let s = follow.stats();
+        assert_eq!((s.io_errors, s.quarantines, s.recoveries), (1, 1, 0));
+
+        // Quarantined: the next poll backs off without touching the path.
+        assert_eq!(follow.poll_into(&mut engine), 0);
+        assert_eq!(follow.stats().io_errors, 1, "no retry during backoff");
+
+        // Heal the source with more data. Once the backoff expires the
+        // tail is re-admitted and resumes from its pre-error offset.
+        std::fs::remove_dir(&console).unwrap();
+        std::fs::write(&console, "one\ntwo\n").unwrap();
+        let mut fed = 0;
+        for _ in 0..MAX_BACKOFF_POLLS + 2 {
+            fed += follow.poll_into(&mut engine);
+            if fed > 0 {
+                break;
+            }
+        }
+        assert_eq!(fed, 1, "only the new line; the offset survived quarantine");
+        assert_eq!(follow.stats().recoveries, 1);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn invalid_utf8_lines_are_counted_and_sanitised() {
+        let root = temp_root("utf8");
+        let console = root.join("p0-directory/console");
+        let mut engine = StreamEngine::new(StreamConfig::default());
+        let mut follow = FollowDir::new(&root);
+
+        std::fs::write(&console, b"plain line\n\xFF\xFE binary junk \x80\n").unwrap();
+        assert_eq!(follow.poll_into(&mut engine), 2);
+        assert_eq!(follow.stats().invalid_utf8, 1);
+        assert_eq!(follow.stats().io_errors, 0);
         let _ = std::fs::remove_dir_all(&root);
     }
 }

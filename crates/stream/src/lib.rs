@@ -41,6 +41,7 @@ pub mod sink;
 pub mod window;
 
 pub use engine::{StreamConfig, StreamEngine, StreamStats};
+pub use follow::{FollowDir, FollowStats};
 pub use merger::StreamMerger;
 pub use sink::{AlertSink, JsonlSink, TextSink};
 pub use window::SlidingWindow;

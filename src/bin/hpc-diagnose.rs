@@ -82,6 +82,12 @@ fn main() {
     } else {
         let dir = positional.first().expect("checked above");
         origin = dir.clone();
+        // Fail fast with one clear line on a missing or unreadable
+        // archive root, before spinning up the ingest pool.
+        if let Err(e) = std::fs::read_dir(dir) {
+            eprintln!("cannot read log directory {dir}: {e}");
+            exit(1);
+        }
         eprintln!(
             "streaming logs from {dir} with {} ingest threads ...",
             Diagnosis::ingest_threads(&config)
@@ -97,7 +103,8 @@ fn main() {
             }
         }
     };
-    let snapshot_lines = telemetry::snapshot().counter("ingest.lines").unwrap_or(0);
+    let ingest_snap = telemetry::snapshot();
+    let snapshot_lines = ingest_snap.counter("ingest.lines").unwrap_or(0);
     if snapshot_lines == 0 {
         eprintln!("no log lines found in {origin}");
         exit(1);
@@ -108,6 +115,21 @@ fn main() {
             "warning: {} of {} lines unrecognised ({pct:.2}%) — possible log corruption \
              or unsupported format (counter ingest.skipped_lines)",
             d.skipped_lines, snapshot_lines
+        );
+    }
+    // Loss accounting per the degradation contract (DESIGN.md §10): say
+    // exactly what was sanitised or truncated away, never fail silently.
+    let dropped_utf8 = ingest_snap
+        .counter("core.ingest.dropped.invalid_utf8")
+        .unwrap_or(0);
+    let dropped_io = ingest_snap
+        .counter("core.ingest.dropped.io_error")
+        .unwrap_or(0);
+    if dropped_utf8 > 0 || dropped_io > 0 {
+        eprintln!(
+            "warning: degraded ingest: {dropped_utf8} invalid-UTF-8 lines sanitised, \
+             {dropped_io} stream(s) truncated at a mid-file I/O error \
+             (counters core.ingest.dropped.*)"
         );
     }
     let jobs = JobLog::from_diagnosis(&d);

@@ -156,7 +156,11 @@ fn run_stdin(engine: &mut StreamEngine, poll: Duration) {
     }
 }
 
-fn run_follow(engine: &mut StreamEngine, dir: &std::path::Path, poll: Duration) {
+fn run_follow(
+    engine: &mut StreamEngine,
+    dir: &std::path::Path,
+    poll: Duration,
+) -> hpc_node_failures::stream::FollowStats {
     let mut follow = hpc_node_failures::stream::follow::FollowDir::new(dir);
     loop {
         if shutting_down() {
@@ -167,6 +171,7 @@ fn run_follow(engine: &mut StreamEngine, dir: &std::path::Path, poll: Duration) 
             std::thread::sleep(poll);
         }
     }
+    follow.stats()
 }
 
 fn main() {
@@ -187,10 +192,21 @@ fn main() {
         }
     }
 
-    match &opts.follow {
-        Some(dir) => run_follow(&mut engine, dir, opts.poll),
-        None => run_stdin(&mut engine, opts.poll),
-    }
+    let follow_stats = match &opts.follow {
+        Some(dir) => {
+            // Fail fast with one clear line on a missing or unreadable
+            // archive root instead of silently polling it forever.
+            if let Err(e) = std::fs::read_dir(dir) {
+                eprintln!("cannot read log directory {}: {e}", dir.display());
+                exit(1);
+            }
+            Some(run_follow(&mut engine, dir, opts.poll))
+        }
+        None => {
+            run_stdin(&mut engine, opts.poll);
+            None
+        }
+    };
     engine.finish();
 
     let stats = engine.stats();
@@ -211,6 +227,14 @@ fn main() {
         stats.window_peak,
         stats.window_evicted,
     );
+    if let Some(fs) = follow_stats {
+        // Loss accounting per the degradation contract (DESIGN.md §10).
+        eprintln!(
+            "hpc-watch: follow degradation: {} io errors, {} quarantines ({} recovered), \
+             {} rotations, {} invalid-utf8 lines sanitised",
+            fs.io_errors, fs.quarantines, fs.recoveries, fs.rotations, fs.invalid_utf8,
+        );
+    }
     if let Some((blade, n)) = engine.window().hottest_blade() {
         eprintln!(
             "hpc-watch: hottest blade {} ({n} external events in window)",

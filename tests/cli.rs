@@ -106,6 +106,46 @@ fn diagnose_rejects_missing_directory() {
         .output()
         .expect("run hpc-diagnose");
     assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("cannot read log directory"),
+        "want a one-line error, got:\n{stderr}"
+    );
+}
+
+#[test]
+fn diagnose_rejects_file_as_directory() {
+    let dir = tmpdir("file-not-dir");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("not-a-dir");
+    std::fs::write(&file, "some log line\n").unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_hpc-diagnose"))
+        .arg(file.to_str().unwrap())
+        .output()
+        .expect("run hpc-diagnose");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("cannot read log directory"),
+        "want a one-line error, got:\n{stderr}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn watch_follow_rejects_missing_directory_promptly() {
+    // Regression: --follow on a nonexistent directory used to poll it in a
+    // silent infinite loop. It must now fail fast with one clear line.
+    let out = Command::new(env!("CARGO_BIN_EXE_hpc-watch"))
+        .args(["--follow", "/nonexistent/hpc-logs-dir", "--quiet"])
+        .output()
+        .expect("run hpc-watch");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("cannot read log directory"),
+        "want a one-line error, got:\n{stderr}"
+    );
 }
 
 #[test]

@@ -1,0 +1,109 @@
+//! Offline vendored mini-proptest.
+//!
+//! The build container has no crates.io access, so this crate reimplements
+//! the slice of the proptest 1.x API the workspace's property tests use:
+//!
+//! * the `proptest!` macro (with `#![proptest_config(..)]`),
+//! * `Strategy` with `prop_map`, tuple composition, `Just`, ranges,
+//!   regex-subset string strategies, `prop_oneof!`, `any::<T>()`,
+//! * `prop::collection::{vec, btree_set, btree_map}`, `prop::sample::select`,
+//! * `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Differences from upstream: **no shrinking** (a failing case panics with
+//! its case index and the deterministic per-test seed, so it replays
+//! exactly), and sampling is driven by a fixed xoshiro256++ stream per test
+//! (override the case count with `PROPTEST_CASES`).
+
+// `Union::add` mirrors the upstream proptest API name.
+#![allow(clippy::should_implement_trait)]
+
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// `prop::` namespace mirror (`use proptest::prelude::*` brings in `prop`).
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Unconditional assertion macros. Upstream routes these through `Result`
+/// for shrinking; without shrinking they are plain asserts.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform choice between strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new()$(.add($strategy))+
+    };
+}
+
+/// The property-test harness macro. Each contained `fn name(arg in strategy,
+/// ...) { body }` becomes a `#[test]` that samples its arguments from a
+/// deterministic per-test stream and runs the body for each case.
+#[macro_export]
+macro_rules! proptest {
+    (@impl ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat_param in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $config;
+                let __cases = $crate::test_runner::resolve_cases(__config.cases);
+                let __seed =
+                    $crate::test_runner::test_seed(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..__cases {
+                    let mut __rng = $crate::test_runner::TestRng::from_seed_and_case(__seed, __case);
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strategy), &mut __rng);)+
+                    let __outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                        $body
+                    }));
+                    if let Err(__panic) = __outcome {
+                        eprintln!(
+                            "proptest failure: {} case {}/{} (seed {:#x})",
+                            stringify!($name), __case, __cases, __seed
+                        );
+                        ::std::panic::resume_unwind(__panic);
+                    }
+                }
+            }
+        )*
+    };
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@impl ($config) $($rest)*);
+    };
+    (
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}

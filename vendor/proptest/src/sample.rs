@@ -1,0 +1,20 @@
+//! `prop::sample::select`: uniform choice from a fixed list.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+pub struct Select<T: Clone> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        assert!(!self.options.is_empty(), "select() needs options");
+        self.options[rng.below(self.options.len() as u64) as usize].clone()
+    }
+}
+
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    Select { options }
+}

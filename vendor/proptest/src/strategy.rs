@@ -1,0 +1,342 @@
+//! The `Strategy` trait and primitive strategies: ranges, `Just`, tuples,
+//! `prop_map`, unions, `any::<T>()`, and a regex-subset string strategy.
+
+use crate::test_runner::TestRng;
+
+/// A generator of values. Unlike upstream proptest there is no value tree /
+/// shrinking: a strategy simply samples.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Constant strategy.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+// ---- integer and float ranges -------------------------------------------
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let width = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % width;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let width = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % width;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+impl_float_strategy!(f32, f64);
+
+// ---- tuples --------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+// ---- unions (prop_oneof!) ------------------------------------------------
+
+/// Uniform choice among boxed strategies of one value type.
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Union {
+            options: Vec::new(),
+        }
+    }
+
+    pub fn add<S: Strategy<Value = T> + 'static>(mut self, s: S) -> Self {
+        self.options.push(Box::new(s));
+        self
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        assert!(!self.options.is_empty(), "prop_oneof! needs a branch");
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].sample(rng)
+    }
+}
+
+// ---- any::<T>() ----------------------------------------------------------
+
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.unit_f64()
+    }
+}
+
+pub struct AnyStrategy<A> {
+    _marker: std::marker::PhantomData<fn() -> A>,
+}
+
+impl<A: Arbitrary> Strategy for AnyStrategy<A> {
+    type Value = A;
+    fn sample(&self, rng: &mut TestRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+pub fn any<A: Arbitrary>() -> AnyStrategy<A> {
+    AnyStrategy {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+// ---- regex-subset string strategy ----------------------------------------
+
+/// `&str` patterns act as generators for a small regex subset: sequences of
+/// character classes `[..]` (literals and `a-z` ranges) or literal
+/// characters, each optionally followed by `{min,max}` repetition. This
+/// covers the patterns the workspace uses (e.g. `"[ -~]{0,120}"`,
+/// `"[a-z][a-z0-9._]{0,30}"`).
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self)
+            .unwrap_or_else(|e| panic!("unsupported string strategy {self:?}: {e}"));
+        let mut out = String::new();
+        for atom in &atoms {
+            let n = atom.min + rng.below((atom.max - atom.min + 1) as u64) as u32;
+            for _ in 0..n {
+                let i = rng.below(atom.chars.len() as u64) as usize;
+                out.push(atom.chars[i]);
+            }
+        }
+        out
+    }
+}
+
+struct Atom {
+    chars: Vec<char>,
+    min: u32,
+    max: u32,
+}
+
+fn parse_pattern(pat: &str) -> Result<Vec<Atom>, String> {
+    let mut atoms = Vec::new();
+    let mut it = pat.chars().peekable();
+    while let Some(c) = it.next() {
+        let chars = match c {
+            '[' => {
+                let mut class = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    let c = it.next().ok_or("unterminated class")?;
+                    match c {
+                        ']' => break,
+                        '-' if prev.is_some() && it.peek().is_some_and(|n| *n != ']') => {
+                            let hi = it.next().unwrap();
+                            let lo = prev.take().unwrap();
+                            if lo as u32 > hi as u32 {
+                                return Err(format!("bad range {lo}-{hi}"));
+                            }
+                            // `lo` is already in the class; add the rest.
+                            for cc in (lo as u32 + 1)..=(hi as u32) {
+                                class.push(char::from_u32(cc).ok_or("bad char")?);
+                            }
+                        }
+                        '\\' => {
+                            let esc = it.next().ok_or("dangling escape")?;
+                            class.push(esc);
+                            prev = Some(esc);
+                        }
+                        other => {
+                            class.push(other);
+                            prev = Some(other);
+                        }
+                    }
+                }
+                if class.is_empty() {
+                    return Err("empty class".into());
+                }
+                class
+            }
+            '\\' => vec![it.next().ok_or("dangling escape")?],
+            '{' | '}' | '*' | '+' | '?' | '(' | ')' | '|' => {
+                return Err(format!("unsupported metachar {c:?}"));
+            }
+            literal => vec![literal],
+        };
+        // Optional {min,max} repetition.
+        let (min, max) = if it.peek() == Some(&'{') {
+            it.next();
+            let spec: String = (&mut it).take_while(|c| *c != '}').collect();
+            let (lo, hi) = spec
+                .split_once(',')
+                .ok_or_else(|| format!("unsupported repetition {{{spec}}}"))?;
+            let lo: u32 = lo.trim().parse().map_err(|_| "bad repetition min")?;
+            let hi: u32 = hi.trim().parse().map_err(|_| "bad repetition max")?;
+            if lo > hi {
+                return Err("repetition min > max".into());
+            }
+            (lo, hi)
+        } else {
+            (1, 1)
+        };
+        atoms.push(Atom { chars, min, max });
+    }
+    Ok(atoms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn string_pattern_shapes() {
+        let mut rng = TestRng::from_seed_and_case(1, 0);
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9._]{0,30}".sample(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 31, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '_'));
+
+            let p = "[ -~]{0,24}".sample(&mut rng);
+            assert!(p.len() <= 24);
+            assert!(p.chars().all(|c| (' '..='~').contains(&c)), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn union_and_map_compose() {
+        let mut rng = TestRng::from_seed_and_case(2, 0);
+        let s = crate::prop_oneof![0u32..10, (90u32..100).prop_map(|v| v)];
+        let mut lo = 0;
+        let mut hi = 0;
+        for _ in 0..500 {
+            let v = s.sample(&mut rng);
+            assert!(v < 10 || (90..100).contains(&v));
+            if v < 10 {
+                lo += 1;
+            } else {
+                hi += 1;
+            }
+        }
+        assert!(lo > 100 && hi > 100, "union is not balanced: {lo}/{hi}");
+    }
+}

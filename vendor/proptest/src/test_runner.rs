@@ -1,0 +1,97 @@
+//! Deterministic case generation: per-test seeds, case counts, and the
+//! sampling RNG (xoshiro256++ seeded via splitmix64).
+
+/// Configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Applies the `PROPTEST_CASES` environment override (used by CI smoke jobs
+/// to trim property suites).
+pub fn resolve_cases(configured: u32) -> u32 {
+    match std::env::var("PROPTEST_CASES") {
+        Ok(v) => v.parse::<u32>().map(|n| n.max(1)).unwrap_or(configured),
+        Err(_) => configured,
+    }
+}
+
+/// Stable FNV-1a hash of the fully qualified test name: the per-test seed.
+/// Independent of compilation order, so failures replay across builds.
+pub fn test_seed(test_name: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in test_name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// The sampling RNG handed to strategies (xoshiro256++).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Each case gets an independent stream so a failure is reproducible
+    /// from `(seed, case)` alone, without replaying earlier cases.
+    pub fn from_seed_and_case(seed: u64, case: u32) -> Self {
+        let mut sm = seed ^ ((case as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        let mut s = [0u64; 4];
+        for word in s.iter_mut() {
+            *word = splitmix64(&mut sm);
+        }
+        if s == [0; 4] {
+            s = [1, 2, 3, 4];
+        }
+        TestRng { s }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, bound)`; `bound` 0 returns 0.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+
+    /// Uniform double in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}

@@ -1,0 +1,212 @@
+//! Offline vendored stand-in for `rand` 0.8.
+//!
+//! The build container has no network access and no crates.io cache, so the
+//! workspace vendors the small API subset it actually uses: `rngs::StdRng`
+//! (here backed by xoshiro256++ rather than ChaCha12 — streams differ from
+//! upstream `rand`, but all experiment determinism flows through fixed seeds,
+//! so runs remain bit-for-bit reproducible against *this* implementation),
+//! the `Rng`/`RngCore`/`SeedableRng` traits with `gen`, `gen_range` and
+//! `gen_bool`, and `seq::SliceRandom` (`shuffle`/`choose`).
+//!
+//! Statistical quality: xoshiro256++ passes BigCrush; the splitmix64 seed
+//! expansion guarantees distinct, well-mixed states for consecutive seeds.
+
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+/// Low-level uniform bit source.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Seedable construction, with the `seed_from_u64` convenience used by every
+/// experiment entry point.
+pub trait SeedableRng: Sized {
+    type Seed: Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let v = splitmix64(&mut sm).to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&v[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// One step of splitmix64 — the standard seed-expansion PRNG.
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// User-facing sampling methods, blanket-implemented for every `RngCore`.
+pub trait Rng: RngCore {
+    /// Samples a value of `T` from the `Standard` distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        distributions::Distribution::sample(&distributions::Standard, self)
+    }
+
+    /// Uniform sample from a half-open or inclusive range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to [0, 1]).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        crate::distributions::unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types that support uniform sampling between two bounds. The single
+/// blanket `SampleRange` impl below keys inference off this trait, so
+/// `rng.gen_range(0..n)` infers its literal type from the use site exactly
+/// as with upstream rand.
+pub trait SampleUniform: Sized {
+    /// Uniform draw in `[lo, hi)` or `[lo, hi]` when `inclusive`.
+    fn sample_between<G: RngCore + ?Sized>(
+        rng: &mut G,
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+/// Range types that can produce a uniform sample of `T`.
+pub trait SampleRange<T> {
+    fn sample_single<G: RngCore + ?Sized>(self, rng: &mut G) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for std::ops::Range<T> {
+    fn sample_single<G: RngCore + ?Sized>(self, rng: &mut G) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_between(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_single<G: RngCore + ?Sized>(self, rng: &mut G) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample empty range");
+        T::sample_between(rng, lo, hi, true)
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<G: RngCore + ?Sized>(
+                rng: &mut G,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                let width = (hi as i128 - lo as i128) as u128 + inclusive as u128;
+                let v = (rng.next_u64() as u128) % width;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<G: RngCore + ?Sized>(
+                rng: &mut G,
+                lo: Self,
+                hi: Self,
+                _inclusive: bool,
+            ) -> Self {
+                let u = crate::distributions::unit_f64(rng.next_u64()) as $t;
+                lo + u * (hi - lo)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..4).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..4).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3u32..17);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(-2.0f64..3.5);
+            assert!((-2.0..3.5).contains(&f));
+            let s = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn unit_f64_uniformity() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline vendored serde facade.
+//!
+//! Exposes the `Serialize`/`Deserialize` trait names and (behind the
+//! `derive` feature) no-op derive macros, so types can keep their serde
+//! annotations without a registry. Nothing in-tree serializes through
+//! serde — all JSON output is hand-rendered by `hpc-telemetry`.
+
+/// Marker trait matching `serde::Serialize`'s name. The no-op derive does
+/// not implement it; nothing in-tree bounds on it.
+pub trait Serialize {}
+
+/// Marker trait matching `serde::Deserialize`'s name.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

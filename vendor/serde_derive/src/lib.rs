@@ -1,0 +1,18 @@
+//! No-op `Serialize`/`Deserialize` derive macros.
+//!
+//! The workspace annotates data types with serde derives for downstream
+//! consumers, but nothing in-tree calls a serializer, so in the offline
+//! build the derives expand to nothing. Replace with real `serde_derive`
+//! when a registry is available.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
