@@ -1,0 +1,126 @@
+//! Tracked performance trajectory over the pipeline's hot paths.
+//!
+//! ```text
+//! hpc-bench [options]                    # run the matrix, write the report
+//!
+//! options:
+//!   --quick                 reduced matrix (2 days, 2 runs) for CI/smoke
+//!   --out <path>            report path (default BENCH_0007.json)
+//!   --gate <baseline.json>  compare against a baseline; exit 1 on regression
+//!   --tolerance-pct <n>     gate tolerance (default 25)
+//!   --days <n>              override simulated days
+//!   --cabinets <n>          override cabinet count
+//!   --runs <n>              override repetitions per workload
+//!   --seed <n>              override scenario seed
+//! ```
+//!
+//! Without `--gate`, runs the fixed workload matrix (see
+//! `hpc_bench::perf`) and writes the schema-versioned JSON report — the
+//! committed `BENCH_0007.json` at the repo root is one such run, refreshed
+//! when a PR intentionally moves throughput. With `--gate`, the fresh run
+//! is additionally compared against the baseline's medians and the
+//! process exits nonzero if any workload regressed beyond tolerance (or
+//! vanished from the matrix). CI generates a same-machine baseline and
+//! gates against it, so the committed file tracks trajectory while the
+//! gate never trips on runner-to-runner variance (DESIGN.md §11).
+//!
+//! Run it in release mode: debug-build numbers are meaningless.
+
+use std::process::exit;
+
+use hpc_bench::perf::{
+    self, gate, gate_table, report_table, BenchParams, BenchReport, DEFAULT_OUT,
+    DEFAULT_TOLERANCE_PCT,
+};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: hpc-bench [--quick] [--out <path>] [--gate <baseline.json>] \
+         [--tolerance-pct <n>] [--days <n>] [--cabinets <n>] [--runs <n>] [--seed <n>]"
+    );
+    exit(2)
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out = DEFAULT_OUT.to_string();
+    let mut baseline_path: Option<String> = None;
+    let mut tolerance_pct = DEFAULT_TOLERANCE_PCT;
+    let mut days: Option<u64> = None;
+    let mut cabinets: Option<u32> = None;
+    let mut runs: Option<usize> = None;
+    let mut seed: Option<u64> = None;
+
+    let mut args = std::env::args().skip(1);
+    let value = |args: &mut dyn Iterator<Item = String>| args.next().unwrap_or_else(|| usage());
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = value(&mut args),
+            "--gate" => baseline_path = Some(value(&mut args)),
+            "--tolerance-pct" => {
+                tolerance_pct = value(&mut args).parse().unwrap_or_else(|_| usage());
+            }
+            "--days" => days = Some(value(&mut args).parse().unwrap_or_else(|_| usage())),
+            "--cabinets" => cabinets = Some(value(&mut args).parse().unwrap_or_else(|_| usage())),
+            "--runs" => runs = Some(value(&mut args).parse().unwrap_or_else(|_| usage())),
+            "--seed" => seed = Some(value(&mut args).parse().unwrap_or_else(|_| usage())),
+            _ => usage(),
+        }
+    }
+
+    // Load the baseline before spending minutes measuring.
+    let baseline = baseline_path.as_deref().map(|path| {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {path}: {e}");
+            exit(2);
+        });
+        BenchReport::from_json(&text).unwrap_or_else(|e| {
+            eprintln!("malformed baseline {path}: {e}");
+            exit(2);
+        })
+    });
+
+    let mut params = if quick {
+        BenchParams::quick()
+    } else {
+        BenchParams::full()
+    };
+    if let Some(d) = days {
+        params.days = d;
+    }
+    if let Some(c) = cabinets {
+        params.cabinets = c;
+    }
+    if let Some(r) = runs {
+        params.runs = r;
+    }
+    if let Some(s) = seed {
+        params.seed = s;
+    }
+    if params.runs == 0 || params.days == 0 || params.cabinets == 0 {
+        usage();
+    }
+
+    #[cfg(debug_assertions)]
+    eprintln!("hpc-bench: WARNING: debug build — numbers are not comparable to release baselines");
+
+    let report = perf::run_matrix(&params, quick, |msg| eprintln!("hpc-bench: {msg}"));
+    eprint!("{}", report_table(&report));
+
+    if let Err(e) = std::fs::write(&out, report.to_json()) {
+        eprintln!("cannot write report {out}: {e}");
+        exit(1);
+    }
+    eprintln!("hpc-bench: report written to {out}");
+
+    if let Some(baseline) = baseline {
+        let rows = gate(&baseline, &report, tolerance_pct);
+        eprint!("{}", gate_table(&rows, tolerance_pct));
+        if rows.iter().any(|r| r.regressed) {
+            eprintln!("hpc-bench: GATE FAILED — throughput regressed beyond tolerance");
+            exit(1);
+        }
+        eprintln!("hpc-bench: gate passed");
+    }
+}

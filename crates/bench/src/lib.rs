@@ -13,6 +13,7 @@ pub mod figs_external;
 pub mod figs_jobs;
 pub mod figs_lead;
 pub mod figs_time;
+pub mod perf;
 pub mod tables;
 pub mod validation;
 

@@ -1,0 +1,722 @@
+//! Tracked performance trajectory: the fixed workload matrix behind the
+//! `hpc-bench` binary and the `BENCH_0007.json` artefact.
+//!
+//! Criterion benches (`benches/`) answer "is this change faster?" on a
+//! developer box; they leave no durable record, so regressions that creep
+//! in over many PRs are invisible. This module runs a *fixed, seeded*
+//! workload matrix over the hot paths — ingest (sequential and pooled),
+//! EventStore build, indexed queries, stream replay, chaos-corrupted
+//! ingest — and renders the result as a schema-versioned JSON report that
+//! is committed at the repo root and diffed by the CI `bench-gate` job
+//! (`--gate <baseline>` exits nonzero on a regression beyond tolerance).
+//!
+//! Every measurement is a *throughput* (higher is better) summarised as
+//! median + nearest-rank p95 over repeated runs, which makes the gate
+//! direction uniform and keeps single-outlier runs from tripping it. The
+//! chaos-overhead delta is reported as info only — it is a ratio of two
+//! noisy numbers and would make the gate flaky.
+//!
+//! Absolute numbers are machine-dependent; the committed baseline tracks
+//! the *trajectory* on the maintainer's machine, while CI gates against a
+//! fresh same-machine baseline (see `.github/workflows/ci.yml`).
+
+use std::time::Instant;
+
+use hpc_diagnosis::{Diagnosis, DiagnosisConfig, EventStore};
+use hpc_faultsim::chaos::{ChaosFeed, ChaosSpec, Intensity};
+use hpc_faultsim::Scenario;
+use hpc_logs::archive::LogArchive;
+use hpc_logs::event::LogSource;
+use hpc_logs::time::SimDuration;
+use hpc_platform::SystemId;
+use hpc_stream::{StreamConfig, StreamEngine};
+use hpc_telemetry::json::{self, JsonValue};
+
+/// Report schema version; bump on breaking shape changes.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Default report file name at the repo root.
+pub const DEFAULT_OUT: &str = "BENCH_0007.json";
+
+/// Default gate tolerance: current median may drop this far below the
+/// baseline median before the gate fails.
+pub const DEFAULT_TOLERANCE_PCT: f64 = 25.0;
+
+/// Workload-matrix parameters. All workloads share one seeded scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchParams {
+    /// Simulated system (always S1 for the tracked baseline).
+    pub system: SystemId,
+    /// Cabinet count of the miniature topology.
+    pub cabinets: u32,
+    /// Simulated days (controls archive size).
+    pub days: u64,
+    /// Scenario seed.
+    pub seed: u64,
+    /// Timed repetitions per workload.
+    pub runs: usize,
+}
+
+impl BenchParams {
+    /// The full tracked matrix (what `BENCH_0007.json` records).
+    pub fn full() -> BenchParams {
+        BenchParams {
+            system: SystemId::S1,
+            cabinets: 2,
+            days: 7,
+            seed: 42,
+            runs: 5,
+        }
+    }
+
+    /// Reduced matrix for CI and local smoke runs (`--quick`).
+    pub fn quick() -> BenchParams {
+        BenchParams {
+            days: 2,
+            runs: 2,
+            ..BenchParams::full()
+        }
+    }
+}
+
+/// One workload's summarised throughput (higher is better).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Stable workload id (`ingest.cold`, `stream.replay`, …).
+    pub id: String,
+    /// Unit of the throughput values (`lines_per_sec`, …).
+    pub unit: String,
+    /// Median over `runs` (the gated statistic).
+    pub median: f64,
+    /// Nearest-rank 95th percentile over `runs`.
+    pub p95: f64,
+    /// Raw per-run throughputs, in run order.
+    pub runs: Vec<f64>,
+}
+
+/// The full report: parameters, environment, and every measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// [`SCHEMA_VERSION`] at write time.
+    pub schema_version: u64,
+    /// `git rev-parse --short HEAD`, or `"unknown"` outside a repo.
+    pub git_sha: String,
+    /// Whether the reduced (`--quick`) matrix produced this report.
+    pub quick: bool,
+    /// Workload parameters.
+    pub params: BenchParams,
+    /// One entry per workload, in matrix order.
+    pub measurements: Vec<Measurement>,
+    /// Info-only derived numbers, excluded from gating
+    /// (`chaos_overhead_pct`: chaos ingest slowdown vs clean cold ingest).
+    pub info: Vec<(String, f64)>,
+}
+
+/// Median of `values` (mean of the middle two when even).
+pub fn median(values: &[f64]) -> f64 {
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.total_cmp(b));
+    match v.len() {
+        0 => 0.0,
+        n if n % 2 == 1 => v[n / 2],
+        n => (v[n / 2 - 1] + v[n / 2]) / 2.0,
+    }
+}
+
+/// Nearest-rank p95 of `values`.
+pub fn p95(values: &[f64]) -> f64 {
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.total_cmp(b));
+    if v.is_empty() {
+        return 0.0;
+    }
+    let rank = ((0.95 * v.len() as f64).ceil() as usize).clamp(1, v.len());
+    v[rank - 1]
+}
+
+fn summarize(id: &str, unit: &str, runs: Vec<f64>) -> Measurement {
+    Measurement {
+        id: id.to_string(),
+        unit: unit.to_string(),
+        median: median(&runs),
+        p95: p95(&runs),
+        runs,
+    }
+}
+
+/// Times `f` once and converts the elapsed time into a `work / sec`
+/// throughput.
+fn throughput<R>(work: f64, f: impl FnOnce() -> R) -> f64 {
+    let start = Instant::now();
+    let r = f();
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    std::hint::black_box(r);
+    work / secs
+}
+
+fn merged_stream_lines(archive: &LogArchive) -> Vec<(LogSource, String)> {
+    // Stable-merge on the 23-char timestamp prefix in source order —
+    // the same order `sort -m -s -k1,2` gives the CI watch smoke, so
+    // nothing arrives behind the watermark.
+    let mut merged: Vec<(LogSource, String)> = Vec::new();
+    for source in [
+        LogSource::Console,
+        LogSource::Controller,
+        LogSource::Erd,
+        LogSource::Scheduler,
+    ] {
+        merged.extend(archive.lines(source).iter().map(|l| (source, l.clone())));
+    }
+    merged.sort_by(|a, b| {
+        let key = |l: &str| l.get(..23).unwrap_or(l).to_string();
+        key(&a.1).cmp(&key(&b.1))
+    });
+    merged
+}
+
+/// Runs the fixed workload matrix and assembles the report.
+///
+/// `progress` receives one line per workload as it completes (pass
+/// `|_| {}` to silence).
+pub fn run_matrix(
+    params: &BenchParams,
+    quick: bool,
+    mut progress: impl FnMut(&str),
+) -> BenchReport {
+    let scenario = Scenario::new(params.system, params.cabinets, params.days, params.seed);
+    let out = scenario.run();
+    let archive = &out.archive;
+    let lines = archive.total_lines() as f64;
+    progress(&format!(
+        "workload archive: {} lines, {} injected failures",
+        archive.total_lines(),
+        out.truth.failures.len()
+    ));
+
+    let mut measurements = Vec::new();
+
+    // 1. Cold (sequential) ingest+diagnose: lines/sec.
+    let cold_cfg = || DiagnosisConfig {
+        parallel_ingest: false,
+        ..DiagnosisConfig::default()
+    };
+    let cold: Vec<f64> = (0..params.runs)
+        .map(|_| throughput(lines, || Diagnosis::from_archive(archive, cold_cfg())))
+        .collect();
+    let cold_median = median(&cold);
+    measurements.push(summarize("ingest.cold", "lines_per_sec", cold));
+    progress("ingest.cold done");
+
+    // 2. Pooled ingest+diagnose at the machine's parallelism: lines/sec.
+    let par: Vec<f64> = (0..params.runs)
+        .map(|_| {
+            throughput(lines, || {
+                Diagnosis::from_archive(archive, DiagnosisConfig::default())
+            })
+        })
+        .collect();
+    measurements.push(summarize("ingest.parallel", "lines_per_sec", par));
+    progress("ingest.parallel done");
+
+    // Diagnose once outside the timers for the store/query workloads.
+    let diagnosis = Diagnosis::from_archive(archive, DiagnosisConfig::default());
+    let events = diagnosis.events().to_vec();
+    let n_events = events.len() as f64;
+
+    // 3. EventStore build (index construction only): events/sec.
+    let build: Vec<f64> = (0..params.runs)
+        .map(|_| {
+            throughput(n_events, || {
+                EventStore::build(events.clone(), &diagnosis.failures)
+            })
+        })
+        .collect();
+    measurements.push(summarize("store.build", "events_per_sec", build));
+    progress("store.build done");
+
+    // 4. Indexed point queries over the built store: queries/sec. The
+    //   query set sweeps every failure through `fails_within` at three
+    //   horizons — the hot query of the lead-time analyses.
+    let store = diagnosis.store();
+    let horizons = [
+        SimDuration::from_mins(30),
+        SimDuration::from_hours(2),
+        SimDuration::from_hours(6),
+    ];
+    let queries_per_pass = (diagnosis.failures.len() * horizons.len()).max(1);
+    // Enough passes to measure even on tiny test matrices.
+    let passes = (10_000 / queries_per_pass).max(1);
+    let total_queries = (queries_per_pass * passes) as f64;
+    let query: Vec<f64> = (0..params.runs)
+        .map(|_| {
+            throughput(total_queries, || {
+                let mut hits = 0u64;
+                for _ in 0..passes {
+                    for f in &diagnosis.failures {
+                        for h in horizons {
+                            if store.fails_within(f.node, f.time, h) {
+                                hits += 1;
+                            }
+                        }
+                    }
+                }
+                hits
+            })
+        })
+        .collect();
+    measurements.push(summarize("store.query", "queries_per_sec", query));
+    progress("store.query done");
+
+    // 5. Stream replay: the merged archive through a fresh StreamEngine,
+    //   finish included (the CI watch smoke, minus process overhead).
+    let merged = merged_stream_lines(archive);
+    let replay: Vec<f64> = (0..params.runs)
+        .map(|_| {
+            throughput(lines, || {
+                let mut engine = StreamEngine::new(StreamConfig::default());
+                for (source, line) in &merged {
+                    engine.push_line(*source, line);
+                }
+                engine.finish();
+                engine.stats().events
+            })
+        })
+        .collect();
+    measurements.push(summarize("stream.replay", "lines_per_sec", replay));
+    progress("stream.replay done");
+
+    // 6. Chaos ingest: cold ingest of a mixed-corruption feed — the
+    //   hardened parse path under adversarial input. The feed is written
+    //   to a scratch dir once, outside the timers, so every run pays the
+    //   same (cached) read cost and the delta against `ingest.cold` is
+    //   parse work, not IO.
+    let spec = ChaosSpec::mixed(Intensity::Heavy, params.seed);
+    let feed = ChaosFeed::corrupt(archive, &spec);
+    let chaos_lines: f64 = LogSource::ALL
+        .into_iter()
+        .map(|s| feed.lossy_lines(s).count() as f64)
+        .sum();
+    let scratch = std::env::temp_dir().join(format!(
+        "hpc-bench-chaos-{}-{}",
+        std::process::id(),
+        params.seed
+    ));
+    feed.write_dir(&scratch).expect("write chaos feed");
+    let chaos: Vec<f64> = (0..params.runs)
+        .map(|_| {
+            throughput(chaos_lines, || {
+                Diagnosis::from_dir(&scratch, cold_cfg()).expect("read chaos feed")
+            })
+        })
+        .collect();
+    let _ = std::fs::remove_dir_all(&scratch);
+    let chaos_median = median(&chaos);
+    measurements.push(summarize("chaos.ingest", "lines_per_sec", chaos));
+    progress("chaos.ingest done");
+
+    // Info-only: how much slower corrupted input parses than clean input.
+    let overhead_pct = if chaos_median > 0.0 {
+        (cold_median / chaos_median - 1.0) * 100.0
+    } else {
+        0.0
+    };
+
+    BenchReport {
+        schema_version: SCHEMA_VERSION,
+        git_sha: git_sha(),
+        quick,
+        params: params.clone(),
+        measurements,
+        info: vec![("chaos_overhead_pct".to_string(), overhead_pct)],
+    }
+}
+
+/// `git rev-parse --short HEAD`, or `"unknown"` when unavailable.
+pub fn git_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+// --- JSON (de)serialisation -------------------------------------------
+
+impl BenchReport {
+    /// Renders the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let num = |v: f64| JsonValue::Number(v);
+        let obj = |fields: Vec<(&str, JsonValue)>| {
+            JsonValue::Object(
+                fields
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), v))
+                    .collect(),
+            )
+        };
+        let measurements = self
+            .measurements
+            .iter()
+            .map(|m| {
+                obj(vec![
+                    ("id", JsonValue::String(m.id.clone())),
+                    ("unit", JsonValue::String(m.unit.clone())),
+                    ("median", num(m.median)),
+                    ("p95", num(m.p95)),
+                    (
+                        "runs",
+                        JsonValue::Array(m.runs.iter().map(|&r| num(r)).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        let report = obj(vec![
+            ("schema_version", num(self.schema_version as f64)),
+            ("git_sha", JsonValue::String(self.git_sha.clone())),
+            ("quick", JsonValue::Bool(self.quick)),
+            (
+                "params",
+                obj(vec![
+                    ("system", JsonValue::String(self.params.system.to_string())),
+                    ("cabinets", num(self.params.cabinets as f64)),
+                    ("days", num(self.params.days as f64)),
+                    ("seed", num(self.params.seed as f64)),
+                    ("runs", num(self.params.runs as f64)),
+                ]),
+            ),
+            ("measurements", JsonValue::Array(measurements)),
+            (
+                "info",
+                JsonValue::Object(
+                    self.info
+                        .iter()
+                        .map(|(k, v)| (k.clone(), num(*v)))
+                        .collect(),
+                ),
+            ),
+        ]);
+        report.pretty()
+    }
+
+    /// Parses a report written by [`BenchReport::to_json`]. Rejects
+    /// unknown schema versions and malformed measurements with a
+    /// one-line reason.
+    pub fn from_json(text: &str) -> Result<BenchReport, String> {
+        let v = json::parse(text)?;
+        let version = v
+            .get("schema_version")
+            .and_then(JsonValue::as_number)
+            .ok_or("missing schema_version")? as u64;
+        if version != SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported schema_version {version} (expected {SCHEMA_VERSION})"
+            ));
+        }
+        let field_num = |o: &JsonValue, k: &str| -> Result<f64, String> {
+            o.get(k)
+                .and_then(JsonValue::as_number)
+                .ok_or_else(|| format!("missing numeric field {k:?}"))
+        };
+        let params = v.get("params").ok_or("missing params")?;
+        let system = match params.get("system").and_then(JsonValue::as_str) {
+            Some("S1") => SystemId::S1,
+            Some("S2") => SystemId::S2,
+            Some("S3") => SystemId::S3,
+            Some("S4") => SystemId::S4,
+            Some("S5") => SystemId::S5,
+            other => return Err(format!("bad params.system {other:?}")),
+        };
+        let params = BenchParams {
+            system,
+            cabinets: field_num(params, "cabinets")? as u32,
+            days: field_num(params, "days")? as u64,
+            seed: field_num(params, "seed")? as u64,
+            runs: field_num(params, "runs")? as usize,
+        };
+        let measurements = v
+            .get("measurements")
+            .and_then(JsonValue::as_array)
+            .ok_or("missing measurements")?
+            .iter()
+            .map(|m| -> Result<Measurement, String> {
+                let id = m
+                    .get("id")
+                    .and_then(JsonValue::as_str)
+                    .ok_or("measurement missing id")?
+                    .to_string();
+                let runs = m
+                    .get("runs")
+                    .and_then(JsonValue::as_array)
+                    .ok_or_else(|| format!("measurement {id}: missing runs"))?
+                    .iter()
+                    .map(|r| r.as_number().ok_or_else(|| format!("{id}: bad run value")))
+                    .collect::<Result<Vec<f64>, String>>()?;
+                Ok(Measurement {
+                    unit: m
+                        .get("unit")
+                        .and_then(JsonValue::as_str)
+                        .unwrap_or("")
+                        .to_string(),
+                    median: field_num(m, "median")?,
+                    p95: field_num(m, "p95")?,
+                    id,
+                    runs,
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let info = v
+            .get("info")
+            .and_then(JsonValue::as_object)
+            .map(|o| {
+                o.iter()
+                    .filter_map(|(k, v)| v.as_number().map(|n| (k.clone(), n)))
+                    .collect()
+            })
+            .unwrap_or_default();
+        Ok(BenchReport {
+            schema_version: version,
+            git_sha: v
+                .get("git_sha")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("unknown")
+                .to_string(),
+            quick: matches!(v.get("quick"), Some(JsonValue::Bool(true))),
+            params,
+            measurements,
+            info,
+        })
+    }
+}
+
+// --- Regression gate ---------------------------------------------------
+
+/// One gate comparison row.
+#[derive(Debug, Clone)]
+pub struct GateRow {
+    /// Workload id.
+    pub id: String,
+    /// Baseline median throughput.
+    pub baseline: f64,
+    /// Current median throughput (None: workload missing from current).
+    pub current: Option<f64>,
+    /// `current / baseline - 1`, as a percentage.
+    pub delta_pct: f64,
+    /// Whether this row regressed beyond tolerance.
+    pub regressed: bool,
+}
+
+/// Compares `current` against `baseline` medians. Every measurement is a
+/// higher-is-better throughput: a row regresses when its current median
+/// falls below `baseline * (1 - tolerance_pct/100)`. Workloads present in
+/// the baseline but absent from the current run regress by definition
+/// (a silently dropped workload must not pass the gate); extra current
+/// workloads are ignored so the matrix can grow without breaking old
+/// baselines.
+pub fn gate(baseline: &BenchReport, current: &BenchReport, tolerance_pct: f64) -> Vec<GateRow> {
+    let floor = 1.0 - tolerance_pct / 100.0;
+    baseline
+        .measurements
+        .iter()
+        .map(|b| {
+            let cur = current
+                .measurements
+                .iter()
+                .find(|c| c.id == b.id)
+                .map(|c| c.median);
+            match cur {
+                Some(c) if b.median > 0.0 => GateRow {
+                    id: b.id.clone(),
+                    baseline: b.median,
+                    current: Some(c),
+                    delta_pct: (c / b.median - 1.0) * 100.0,
+                    regressed: c < b.median * floor,
+                },
+                Some(c) => GateRow {
+                    id: b.id.clone(),
+                    baseline: b.median,
+                    current: Some(c),
+                    delta_pct: 0.0,
+                    regressed: false,
+                },
+                None => GateRow {
+                    id: b.id.clone(),
+                    baseline: b.median,
+                    current: None,
+                    delta_pct: -100.0,
+                    regressed: true,
+                },
+            }
+        })
+        .collect()
+}
+
+/// Renders gate rows as an aligned text table.
+pub fn gate_table(rows: &[GateRow], tolerance_pct: f64) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<16} {:>14} {:>14} {:>9}  verdict (tolerance {tolerance_pct}%)\n",
+        "workload", "baseline", "current", "delta"
+    ));
+    for r in rows {
+        let current = r
+            .current
+            .map(|c| format!("{c:.0}"))
+            .unwrap_or_else(|| "missing".to_string());
+        out.push_str(&format!(
+            "{:<16} {:>14.0} {:>14} {:>+8.1}%  {}\n",
+            r.id,
+            r.baseline,
+            current,
+            r.delta_pct,
+            if r.regressed { "REGRESSED" } else { "ok" }
+        ));
+    }
+    out
+}
+
+/// Renders a report as an aligned human summary.
+pub fn report_table(report: &BenchReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "hpc-bench schema {} | git {} | {} | {} d{} c{} seed {} x{}\n",
+        report.schema_version,
+        report.git_sha,
+        if report.quick { "quick" } else { "full" },
+        report.params.system,
+        report.params.days,
+        report.params.cabinets,
+        report.params.seed,
+        report.params.runs,
+    ));
+    out.push_str(&format!(
+        "{:<16} {:>14} {:>14}  unit\n",
+        "workload", "median", "p95"
+    ));
+    for m in &report.measurements {
+        out.push_str(&format!(
+            "{:<16} {:>14.0} {:>14.0}  {}\n",
+            m.id, m.median, m.p95, m.unit
+        ));
+    }
+    for (k, v) in &report.info {
+        out.push_str(&format!("info {k} = {v:.1}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_with(medians: &[(&str, f64)]) -> BenchReport {
+        BenchReport {
+            schema_version: SCHEMA_VERSION,
+            git_sha: "deadbee".to_string(),
+            quick: true,
+            params: BenchParams::quick(),
+            measurements: medians
+                .iter()
+                .map(|(id, m)| Measurement {
+                    id: id.to_string(),
+                    unit: "lines_per_sec".to_string(),
+                    median: *m,
+                    p95: *m,
+                    runs: vec![*m],
+                })
+                .collect(),
+            info: vec![("chaos_overhead_pct".to_string(), 12.5)],
+        }
+    }
+
+    #[test]
+    fn median_and_p95_are_order_free() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(p95(&[5.0, 1.0, 3.0]), 5.0);
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(p95(&v), 95.0);
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance_and_fails_beyond() {
+        let base = report_with(&[("ingest.cold", 1000.0), ("stream.replay", 2000.0)]);
+        let ok = report_with(&[("ingest.cold", 900.0), ("stream.replay", 2400.0)]);
+        let rows = gate(&base, &ok, 25.0);
+        assert!(rows.iter().all(|r| !r.regressed), "{rows:?}");
+
+        let slow = report_with(&[("ingest.cold", 700.0), ("stream.replay", 2000.0)]);
+        let rows = gate(&base, &slow, 25.0);
+        assert!(rows.iter().any(|r| r.id == "ingest.cold" && r.regressed));
+        assert!(rows.iter().any(|r| r.id == "stream.replay" && !r.regressed));
+    }
+
+    #[test]
+    fn gate_fails_on_workload_missing_from_current() {
+        let base = report_with(&[("ingest.cold", 1000.0), ("store.query", 5000.0)]);
+        let cur = report_with(&[("ingest.cold", 1000.0)]);
+        let rows = gate(&base, &cur, 25.0);
+        let missing = rows.iter().find(|r| r.id == "store.query").unwrap();
+        assert!(missing.regressed);
+        assert!(missing.current.is_none());
+    }
+
+    #[test]
+    fn extra_current_workloads_are_ignored() {
+        let base = report_with(&[("ingest.cold", 1000.0)]);
+        let cur = report_with(&[("ingest.cold", 1000.0), ("new.workload", 1.0)]);
+        let rows = gate(&base, &cur, 25.0);
+        assert_eq!(rows.len(), 1);
+        assert!(!rows[0].regressed);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = report_with(&[("ingest.cold", 1234.5), ("store.build", 9999.0)]);
+        let parsed = BenchReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn from_json_rejects_other_schema_versions() {
+        let mut text = report_with(&[("x", 1.0)]).to_json();
+        text = text.replace("\"schema_version\": 1", "\"schema_version\": 99");
+        let err = BenchReport::from_json(&text).unwrap_err();
+        assert!(err.contains("schema_version"), "{err}");
+    }
+
+    #[test]
+    fn tiny_matrix_produces_all_workloads() {
+        // One-run matrix on a one-cabinet day: slow-ish (~seconds) but
+        // proves the measurement plumbing end to end.
+        let params = BenchParams {
+            system: SystemId::S1,
+            cabinets: 1,
+            days: 1,
+            seed: 7,
+            runs: 1,
+        };
+        let report = run_matrix(&params, true, |_| {});
+        let ids: Vec<&str> = report.measurements.iter().map(|m| m.id.as_str()).collect();
+        assert_eq!(
+            ids,
+            [
+                "ingest.cold",
+                "ingest.parallel",
+                "store.build",
+                "store.query",
+                "stream.replay",
+                "chaos.ingest"
+            ]
+        );
+        assert!(report.measurements.iter().all(|m| m.median > 0.0));
+        assert!(report.info.iter().any(|(k, _)| k == "chaos_overhead_pct"));
+        // And a self-gate at any tolerance passes.
+        let rows = gate(&report, &report, 0.1);
+        assert!(rows.iter().all(|r| !r.regressed));
+    }
+}

@@ -1,0 +1,103 @@
+//! CLI contract of the `hpc-bench` binary: report emission and the
+//! regression gate, including the acceptance case — gating against an
+//! artificially inflated baseline must fail with a nonzero exit.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use hpc_bench::perf::BenchReport;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hpc-bench-cli-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Tiny matrix so each invocation stays in CI time budgets.
+fn bench_cmd(out: &std::path::Path) -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_hpc-bench"));
+    cmd.args([
+        "--quick",
+        "--days",
+        "1",
+        "--cabinets",
+        "1",
+        "--runs",
+        "1",
+        "--seed",
+        "7",
+        "--out",
+    ]);
+    cmd.arg(out);
+    cmd
+}
+
+#[test]
+fn writes_valid_report_and_gate_verdicts_match_baseline_quality() {
+    let dir = tmpdir("gate");
+    let report_path = dir.join("bench.json");
+
+    // 1. A plain run exits 0 and writes a parseable schema-1 report with
+    //    the full workload matrix.
+    let status = bench_cmd(&report_path).status().unwrap();
+    assert!(status.success(), "plain run failed: {status:?}");
+    let text = std::fs::read_to_string(&report_path).unwrap();
+    let report = BenchReport::from_json(&text).expect("report parses");
+    assert_eq!(report.schema_version, 1);
+    assert_eq!(report.measurements.len(), 6);
+    assert!(report.measurements.iter().all(|m| m.median > 0.0));
+
+    // 2. Gating a fresh run against that baseline passes: same machine,
+    //    same matrix, generous tolerance.
+    let status = bench_cmd(&dir.join("second.json"))
+        .args(["--gate"])
+        .arg(&report_path)
+        .args(["--tolerance-pct", "90"])
+        .status()
+        .unwrap();
+    assert!(status.success(), "self-gate failed: {status:?}");
+
+    // 3. Acceptance: inflate every baseline median far beyond reality and
+    //    the gate must fail with a nonzero exit.
+    let mut inflated = report.clone();
+    for m in &mut inflated.measurements {
+        m.median *= 1000.0;
+        m.p95 *= 1000.0;
+    }
+    let inflated_path = dir.join("inflated.json");
+    std::fs::write(&inflated_path, inflated.to_json()).unwrap();
+    let output = bench_cmd(&dir.join("third.json"))
+        .args(["--gate"])
+        .arg(&inflated_path)
+        .output()
+        .unwrap();
+    assert!(
+        !output.status.success(),
+        "gate passed against a 1000x-inflated baseline"
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("GATE FAILED"), "{stderr}");
+    assert!(stderr.contains("REGRESSED"), "{stderr}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn rejects_malformed_baseline_before_measuring() {
+    let dir = tmpdir("malformed");
+    let bad = dir.join("bad.json");
+    std::fs::write(&bad, "{\"schema_version\": 99}").unwrap();
+    let output = bench_cmd(&dir.join("out.json"))
+        .args(["--gate"])
+        .arg(&bad)
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(2), "{output:?}");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("schema_version"), "{stderr}");
+    // Fails fast: no report should have been written.
+    assert!(!dir.join("out.json").exists());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

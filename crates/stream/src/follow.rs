@@ -105,6 +105,12 @@ impl FollowDir {
         self.stats
     }
 
+    /// Sources currently quarantined (in error backoff); mirrors the
+    /// `stream.follow.quarantined` gauge.
+    pub fn quarantined(&self) -> usize {
+        self.tails.iter().filter(|t| t.errors > 0).count()
+    }
+
     /// Reads everything newly appended to every source file and feeds the
     /// batch to `engine` in global timestamp order. Returns how many
     /// complete lines were fed.

@@ -27,6 +27,11 @@
 //!   per-alert lead-time bookkeeping.
 //! * [`sink`] — pluggable alert sinks (stderr text, JSONL).
 //! * [`follow`] — polling directory tailer for `hpc-watch --follow`.
+//! * [`heartbeat`] — periodic flat-JSON engine snapshots
+//!   (`hpc-watch --heartbeat-jsonl`), the live-introspection substrate a
+//!   future `hpc-fleetd` will serve over HTTP.
+//! * [`flight`] — bounded ring buffer of recent state transitions, dumped
+//!   to stderr on panic or `SIGUSR1` (DESIGN.md §11).
 //!
 //! The replay guarantee (tested in `tests/equivalence.rs`): feeding a
 //! finished archive through the engine and calling
@@ -35,13 +40,17 @@
 //! for external gating on and off.
 
 pub mod engine;
+pub mod flight;
 pub mod follow;
+pub mod heartbeat;
 pub mod merger;
 pub mod sink;
 pub mod window;
 
 pub use engine::{StreamConfig, StreamEngine, StreamStats};
+pub use flight::{FlightEntry, FlightRecorder};
 pub use follow::{FollowDir, FollowStats};
+pub use heartbeat::{heartbeat_line, FollowHealth, HEARTBEAT_VERSION};
 pub use merger::StreamMerger;
 pub use sink::{AlertSink, JsonlSink, TextSink};
 pub use window::SlidingWindow;

@@ -12,8 +12,10 @@
 //! - [`Counter`] / [`Gauge`] / [`Histogram`] — lock-free metrics,
 //!   interned by name via [`counter`]/[`gauge`]/[`histogram`].
 //! - [`Span`] (via [`span!`]) — RAII stage timer; on drop it feeds
-//!   `<stage>.time_us` and `<stage>.calls`, and with `HPC_TRACE=1`
-//!   emits a nested enter/exit trace on stderr.
+//!   `<stage>.time_us` and `<stage>.calls`, accumulates into the retained
+//!   span tree ([`SpanNode`], rendered by [`profile_table`] with per-node
+//!   wall/self time and call counts), and with `HPC_TRACE=1` emits a
+//!   nested enter/exit trace on stderr.
 //! - [`Recorder`] — sink trait; [`TextRecorder`] renders the per-stage
 //!   summary table the CLIs print, [`JsonRecorder`] writes the full
 //!   registry as JSON (`--telemetry-json`, bench perf trajectories).
@@ -48,6 +50,8 @@ pub mod registry;
 pub mod span;
 
 pub use metrics::{Bucket, Counter, Gauge, Histogram, HistogramSnapshot};
-pub use recorder::{render_text, summary_table, JsonRecorder, Recorder, TextRecorder};
+pub use recorder::{
+    profile_table, render_text, summary_table, JsonRecorder, Recorder, TextRecorder,
+};
 pub use registry::{counter, gauge, histogram, reset, snapshot, Registry, Snapshot};
-pub use span::{set_trace, set_trace_writer, trace_enabled, Span};
+pub use span::{set_trace, set_trace_writer, trace_enabled, tree_snapshot, Span, SpanNode};

@@ -10,6 +10,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::json::{self, JsonValue};
 use crate::metrics::{Bucket, Counter, Gauge, Histogram, HistogramSnapshot};
+use crate::span::{self, SpanNode};
 
 enum Metric {
     Counter(Arc<Counter>),
@@ -47,16 +48,20 @@ pub fn histogram(name: &str) -> Arc<Histogram> {
     global().histogram(name)
 }
 
-/// Point-in-time copy of every global metric.
+/// Point-in-time copy of every global metric, including the retained
+/// span tree ([`Snapshot::spans`]).
 pub fn snapshot() -> Snapshot {
-    global().snapshot()
+    let mut snap = global().snapshot();
+    snap.spans = span::tree_snapshot();
+    snap
 }
 
-/// Drops all global metrics (benches and tests isolate runs with this).
-/// `Arc` handles held by callers keep updating their detached metric,
-/// which simply no longer appears in snapshots.
+/// Drops all global metrics and the retained span tree (benches and tests
+/// isolate runs with this). `Arc` handles held by callers keep updating
+/// their detached metric, which simply no longer appears in snapshots.
 pub fn reset() {
-    global().reset()
+    global().reset();
+    span::reset_tree();
 }
 
 impl Registry {
@@ -136,6 +141,9 @@ pub struct Snapshot {
     pub gauges: BTreeMap<String, f64>,
     /// Histogram snapshots by name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Retained span tree in pre-order (parents before children); global
+    /// snapshots only — per-test registries leave it empty.
+    pub spans: Vec<SpanNode>,
 }
 
 impl Snapshot {
@@ -156,11 +164,12 @@ impl Snapshot {
 
     /// Serialises the snapshot as deterministic, pretty-printed JSON.
     ///
-    /// Layout:
+    /// Layout (version 2 added `spans`; absent in version-1 files, which
+    /// still parse):
     ///
     /// ```json
     /// {
-    ///   "version": 1,
+    ///   "version": 2,
     ///   "counters": { "ingest.lines": 12345 },
     ///   "gauges": { "core.ingest.threads": 4.0 },
     ///   "histograms": {
@@ -168,7 +177,11 @@ impl Snapshot {
     ///       "count": 1, "sum": 1800, "min": 1800, "max": 1800,
     ///       "buckets": [ { "lo": 1024, "hi": 2047, "count": 1 } ]
     ///     }
-    ///   }
+    ///   },
+    ///   "spans": [
+    ///     { "name": "core.from_dir", "parent": null, "wall_us": 80100, "calls": 1 },
+    ///     { "name": "core.ingest.parse", "parent": 0, "wall_us": 55000, "calls": 4 }
+    ///   ]
     /// }
     /// ```
     pub fn to_json(&self) -> String {
@@ -204,11 +217,30 @@ impl Snapshot {
                 ]),
             ));
         }
+        let spans: Vec<JsonValue> = self
+            .spans
+            .iter()
+            .map(|n| {
+                JsonValue::Object(vec![
+                    ("name".into(), JsonValue::String(n.name.clone())),
+                    (
+                        "parent".into(),
+                        match n.parent {
+                            Some(p) => JsonValue::Number(p as f64),
+                            None => JsonValue::Null,
+                        },
+                    ),
+                    ("wall_us".into(), JsonValue::Number(n.wall_us as f64)),
+                    ("calls".into(), JsonValue::Number(n.calls as f64)),
+                ])
+            })
+            .collect();
         let root = JsonValue::Object(vec![
-            ("version".into(), JsonValue::Number(1.0)),
+            ("version".into(), JsonValue::Number(2.0)),
             ("counters".into(), JsonValue::Object(counters)),
             ("gauges".into(), JsonValue::Object(gauges)),
             ("histograms".into(), JsonValue::Object(histograms)),
+            ("spans".into(), JsonValue::Array(spans)),
         ]);
         root.pretty()
     }
@@ -240,11 +272,45 @@ impl Snapshot {
                         snap.histograms.insert(name.clone(), parse_histogram(v)?);
                     }
                 }
+                "spans" => {
+                    for v in value.as_array().ok_or("spans is not an array")? {
+                        snap.spans.push(parse_span(v, snap.spans.len())?);
+                    }
+                }
                 _ => {} // version and future fields
             }
         }
         Ok(snap)
     }
+}
+
+fn parse_span(v: &JsonValue, index: usize) -> Result<SpanNode, String> {
+    let obj = v.as_object().ok_or("span is not an object")?;
+    let mut node = SpanNode::default();
+    for (key, value) in obj {
+        match key.as_str() {
+            "name" => node.name = value.as_str().ok_or("span name")?.to_string(),
+            "parent" => {
+                node.parent = match value {
+                    JsonValue::Null => None,
+                    v => {
+                        let p = v.as_number().ok_or("span parent")? as usize;
+                        if p >= index {
+                            return Err(format!("span {index} parent {p} not before it"));
+                        }
+                        Some(p)
+                    }
+                }
+            }
+            "wall_us" => node.wall_us = value.as_number().ok_or("span wall_us")? as u64,
+            "calls" => node.calls = value.as_number().ok_or("span calls")? as u64,
+            _ => {}
+        }
+    }
+    if node.name.is_empty() {
+        return Err(format!("span {index} missing name"));
+    }
+    Ok(node)
 }
 
 fn parse_histogram(v: &JsonValue) -> Result<HistogramSnapshot, String> {

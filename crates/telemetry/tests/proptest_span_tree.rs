@@ -1,0 +1,152 @@
+//! Property tests for the retained span tree: under arbitrary interleaved
+//! enter/exit programs on several concurrent threads, the aggregated tree
+//! stays well-formed — children nest inside parents (pre-order, parent
+//! before child), the sum of child wall time never exceeds the parent's,
+//! self time is exactly wall minus children once every span has closed,
+//! and per-path invocation counts match an independent replay of the
+//! programs. The tree also survives the JSON snapshot round trip intact.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use proptest::prelude::*;
+
+use hpc_telemetry::span::{self_us, Span};
+use hpc_telemetry::{Snapshot, SpanNode};
+
+/// Small closed name alphabet so concurrent threads collide on paths and
+/// genuinely aggregate.
+const NAMES: [&str; 3] = ["alpha", "beta", "gamma"];
+
+/// One thread's program: values 0..NAMES.len() open the named span, the
+/// rest close the innermost open one (ignored at depth 0). Anything still
+/// open at the end is closed, innermost first.
+type Program = Vec<u8>;
+
+/// The tests below reset and read the one global tree, so they must not
+/// interleave with each other.
+fn global_tree_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Runs one program on the current thread, RAII-nesting spans.
+fn run_program(program: &[u8]) {
+    let mut open: Vec<Span> = Vec::new();
+    for &op in program {
+        if (op as usize) < NAMES.len() {
+            open.push(Span::enter(NAMES[op as usize]));
+        } else {
+            open.pop(); // drop closes the innermost span
+        }
+    }
+    while open.pop().is_some() {}
+}
+
+/// Independent replay: per-path completed-invocation counts the tree must
+/// report after `programs` ran (one per thread). Paths are name chains
+/// from the root, `/`-joined.
+fn expected_calls(programs: &[Program]) -> HashMap<String, u64> {
+    let mut calls: HashMap<String, u64> = HashMap::new();
+    for program in programs {
+        let mut path: Vec<&str> = Vec::new();
+        let close = |path: &mut Vec<&str>, calls: &mut HashMap<String, u64>| {
+            *calls.entry(path.join("/")).or_insert(0) += 1;
+            path.pop();
+        };
+        for &op in program.iter() {
+            if (op as usize) < NAMES.len() {
+                path.push(NAMES[op as usize]);
+            } else if !path.is_empty() {
+                close(&mut path, &mut calls);
+            }
+        }
+        while !path.is_empty() {
+            close(&mut path, &mut calls);
+        }
+    }
+    calls
+}
+
+/// `/`-joined root path of node `i`.
+fn node_path(nodes: &[SpanNode], i: usize) -> String {
+    let mut parts = vec![nodes[i].name.as_str()];
+    let mut cur = nodes[i].parent;
+    while let Some(p) = cur {
+        parts.push(nodes[p].name.as_str());
+        cur = nodes[p].parent;
+    }
+    parts.reverse();
+    parts.join("/")
+}
+
+fn assert_well_formed(nodes: &[SpanNode]) {
+    for (i, n) in nodes.iter().enumerate() {
+        if let Some(p) = n.parent {
+            assert!(p < i, "child {i} before parent {p}");
+        }
+        assert!(
+            n.calls >= 1,
+            "node {i} {:?} retained with zero calls",
+            n.name
+        );
+        let children: u64 = nodes
+            .iter()
+            .filter(|c| c.parent == Some(i))
+            .map(|c| c.wall_us)
+            .sum();
+        assert!(
+            children <= n.wall_us,
+            "children wall {children}us exceeds parent {:?} wall {}us",
+            n.name,
+            n.wall_us
+        );
+        assert_eq!(self_us(nodes, i), n.wall_us - children);
+    }
+}
+
+proptest! {
+    /// Concurrent random programs leave a well-formed, exactly-counted tree.
+    #[test]
+    fn concurrent_programs_build_well_formed_tree(
+        programs in prop::collection::vec(
+            prop::collection::vec(0u8..6, 0..40),
+            1..5,
+        )
+    ) {
+        let _guard = global_tree_lock();
+        hpc_telemetry::reset();
+        let handles: Vec<_> = programs
+            .iter()
+            .cloned()
+            .map(|p| std::thread::spawn(move || run_program(&p)))
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let nodes = hpc_telemetry::tree_snapshot();
+        assert_well_formed(&nodes);
+
+        // Aggregated per-path calls equal the sequential replay, and every
+        // path is unique in the tree (aggregation really merged).
+        let mut seen: HashMap<String, u64> = HashMap::new();
+        for i in 0..nodes.len() {
+            let prev = seen.insert(node_path(&nodes, i), nodes[i].calls);
+            prop_assert!(prev.is_none(), "duplicate path in tree");
+        }
+        prop_assert_eq!(seen, expected_calls(&programs));
+    }
+
+    /// The span tree survives Snapshot JSON serialisation bit-exactly.
+    #[test]
+    fn span_tree_round_trips_through_json(
+        program in prop::collection::vec(0u8..6, 0..60)
+    ) {
+        let _guard = global_tree_lock();
+        hpc_telemetry::reset();
+        run_program(&program);
+        let snap = hpc_telemetry::snapshot();
+        let back = Snapshot::from_json(&snap.to_json()).unwrap();
+        prop_assert_eq!(back.spans, snap.spans);
+    }
+}

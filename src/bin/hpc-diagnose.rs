@@ -138,6 +138,11 @@ fn main() {
     let snapshot = telemetry::snapshot();
     eprintln!("\n--- telemetry ---");
     eprint!("{}", telemetry::summary_table(&snapshot));
+    let profile = telemetry::profile_table(&snapshot);
+    if !profile.is_empty() {
+        eprintln!("--- profile ---");
+        eprint!("{profile}");
+    }
     if let Some(path) = telemetry_json {
         if let Err(e) = std::fs::write(&path, snapshot.to_json()) {
             eprintln!("failed to write telemetry JSON to {path}: {e}");

@@ -10,6 +10,9 @@
 //!   --window-mins <n>         sliding-window retention (default 360)
 //!   --poll-ms <n>             idle poll interval (default 200)
 //!   --alerts-jsonl <path>     append alerts/failures as JSON lines
+//!   --heartbeat-jsonl <path>  append periodic engine snapshots as JSON lines
+//!   --heartbeat-secs <n>      heartbeat interval (default 5)
+//!   --flight-file <path>      also write flight-recorder dumps here
 //!   --quiet                   no per-alert text on stderr
 //!   --telemetry-json <path>   write the metric registry as JSON on exit
 //!   --verbose                 stage trace on stderr
@@ -22,25 +25,55 @@
 //! conventional files under the directory are tailed like `tail -F`.
 //!
 //! SIGINT/SIGTERM trigger a graceful finish: buffered events drain, open
-//! incidents finalize, sinks flush, the summary prints, exit code 0.
+//! incidents finalize, sinks flush, the final heartbeat and telemetry JSON
+//! are written, the summary prints, exit code 0. The exit artefacts are
+//! written by the same drain path on *every* way out — clean EOF or signal
+//! (`tests/cli.rs` holds stdin open on a FIFO and SIGTERMs to prove it).
+//!
+//! A bounded flight recorder retains the last 256 state transitions
+//! (alerts, failures, quarantine flips, signals, heartbeats). SIGUSR1
+//! dumps it to stderr (and `--flight-file`) without stopping the monitor;
+//! a panic dumps it before the backtrace (DESIGN.md §11).
 
-use std::io::BufRead;
+use std::io::{BufRead, Write};
 use std::path::PathBuf;
 use std::process::exit;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc;
-use std::time::Duration;
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use hpc_node_failures::logs::event::LogSource;
 use hpc_node_failures::logs::parse::guess_source;
 use hpc_node_failures::logs::time::SimDuration;
-use hpc_node_failures::stream::{JsonlSink, StreamConfig, StreamEngine, TextSink};
+use hpc_node_failures::stream::flight::{self, FlightRecorder};
+use hpc_node_failures::stream::{
+    heartbeat_line, FollowDir, FollowHealth, JsonlSink, StreamConfig, StreamEngine, StreamStats,
+    TextSink,
+};
 use hpc_node_failures::telemetry;
 
-static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+/// Transitions the flight recorder retains.
+const FLIGHT_CAPACITY: usize = 256;
 
-extern "C" fn on_signal(_signum: i32) {
-    SHUTDOWN.store(true, Ordering::SeqCst);
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+static DUMP_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(signum: i32) {
+    if signum == sigusr1() {
+        DUMP_REQUESTED.store(true, Ordering::SeqCst);
+    } else {
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+}
+
+#[cfg(target_os = "macos")]
+const fn sigusr1() -> i32 {
+    30
+}
+
+#[cfg(not(target_os = "macos"))]
+const fn sigusr1() -> i32 {
+    10
 }
 
 #[cfg(unix)]
@@ -54,6 +87,7 @@ fn install_signal_handlers() {
     unsafe {
         signal(SIGINT, on_signal);
         signal(SIGTERM, on_signal);
+        signal(sigusr1(), on_signal);
     }
 }
 
@@ -68,7 +102,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: hpc-watch (--stdin | --follow <log-dir>) [--require-external] \
          [--watermark-mins <n>] [--window-mins <n>] [--poll-ms <n>] \
-         [--alerts-jsonl <path>] [--quiet] [--telemetry-json <path>] [--verbose]"
+         [--alerts-jsonl <path>] [--heartbeat-jsonl <path>] [--heartbeat-secs <n>] \
+         [--flight-file <path>] [--quiet] [--telemetry-json <path>] [--verbose]"
     );
     exit(2)
 }
@@ -79,6 +114,9 @@ struct Options {
     config: StreamConfig,
     poll: Duration,
     alerts_jsonl: Option<String>,
+    heartbeat_jsonl: Option<String>,
+    heartbeat: Duration,
+    flight_file: Option<String>,
     quiet: bool,
     telemetry_json: Option<String>,
 }
@@ -90,6 +128,9 @@ fn parse_args() -> Options {
         config: StreamConfig::default(),
         poll: Duration::from_millis(200),
         alerts_jsonl: None,
+        heartbeat_jsonl: None,
+        heartbeat: Duration::from_secs(5),
+        flight_file: None,
         quiet: false,
         telemetry_json: None,
     };
@@ -109,6 +150,9 @@ fn parse_args() -> Options {
             }
             "--poll-ms" => opts.poll = Duration::from_millis(number(value(&mut args))),
             "--alerts-jsonl" => opts.alerts_jsonl = Some(value(&mut args)),
+            "--heartbeat-jsonl" => opts.heartbeat_jsonl = Some(value(&mut args)),
+            "--heartbeat-secs" => opts.heartbeat = Duration::from_secs(number(value(&mut args))),
+            "--flight-file" => opts.flight_file = Some(value(&mut args)),
             "--quiet" => opts.quiet = true,
             "--telemetry-json" => opts.telemetry_json = Some(value(&mut args)),
             "--verbose" => telemetry::set_trace(true),
@@ -122,6 +166,163 @@ fn parse_args() -> Options {
     opts
 }
 
+/// Periodic + final heartbeat emission; every line is flushed immediately
+/// so the newest record survives any exit, including signals and crashes.
+struct Heartbeat {
+    out: std::fs::File,
+    interval: Duration,
+    started: Instant,
+    last: Instant,
+    seq: u64,
+}
+
+impl Heartbeat {
+    fn open(path: &str, interval: Duration) -> Heartbeat {
+        match std::fs::File::create(path) {
+            Ok(out) => Heartbeat {
+                out,
+                interval,
+                started: Instant::now(),
+                last: Instant::now(),
+                seq: 0,
+            },
+            Err(e) => {
+                eprintln!("cannot open {path}: {e}");
+                exit(1);
+            }
+        }
+    }
+
+    fn beat(&mut self, engine: &StreamEngine, follow: Option<&FollowDir>, last: bool) {
+        let health = follow.map(|f| FollowHealth {
+            stats: f.stats(),
+            quarantined: f.quarantined(),
+        });
+        let line = heartbeat_line(
+            self.seq,
+            self.started.elapsed().as_millis() as u64,
+            last,
+            &engine.stats(),
+            engine.outstanding_alerts(),
+            health.as_ref(),
+        );
+        let _ = writeln!(self.out, "{line}");
+        let _ = self.out.flush();
+        flight::record_global("heartbeat", format!("seq {} written", self.seq));
+        self.seq += 1;
+        self.last = Instant::now();
+    }
+
+    fn maybe_beat(&mut self, engine: &StreamEngine, follow: Option<&FollowDir>) {
+        if self.last.elapsed() >= self.interval {
+            self.beat(engine, follow, false);
+        }
+    }
+}
+
+/// Per-loop bookkeeping shared by both input modes: feeds the flight
+/// recorder with state *transitions* (new alerts/failures, late-event and
+/// quarantine changes) by diffing engine state against the last poll.
+struct Monitor {
+    heartbeat: Option<Heartbeat>,
+    flight_file: Option<String>,
+    last: StreamStats,
+    seen_alerts: usize,
+    seen_failures: usize,
+    last_quarantined: usize,
+}
+
+impl Monitor {
+    fn new(heartbeat: Option<Heartbeat>, flight_file: Option<String>) -> Monitor {
+        Monitor {
+            heartbeat,
+            flight_file,
+            last: StreamStats::default(),
+            seen_alerts: 0,
+            seen_failures: 0,
+            last_quarantined: 0,
+        }
+    }
+
+    /// Called once per loop iteration in both modes.
+    fn observe(&mut self, engine: &StreamEngine, follow: Option<&FollowDir>) {
+        let stats = engine.stats();
+        for alert in &engine.alerts()[self.seen_alerts..] {
+            flight::record_global(
+                "alert",
+                format!(
+                    "{} node {} ({})",
+                    alert.time,
+                    alert.node.cname(),
+                    if alert.backed_by_external {
+                        "externally-backed"
+                    } else {
+                        "internal-only"
+                    }
+                ),
+            );
+        }
+        self.seen_alerts = engine.alerts().len();
+        for failure in &engine.failures()[self.seen_failures..] {
+            flight::record_global(
+                "failure",
+                format!(
+                    "{} node {} {:?}",
+                    failure.time,
+                    failure.node.cname(),
+                    failure.terminal
+                ),
+            );
+        }
+        self.seen_failures = engine.failures().len();
+        if stats.late_events > self.last.late_events {
+            flight::record_global(
+                "late",
+                format!(
+                    "{} events dropped behind the watermark (total {})",
+                    stats.late_events - self.last.late_events,
+                    stats.late_events
+                ),
+            );
+        }
+        if let Some(f) = follow {
+            let q = f.quarantined();
+            if q != self.last_quarantined {
+                flight::record_global(
+                    "quarantine",
+                    format!(
+                        "{} source(s) in error backoff (was {})",
+                        q, self.last_quarantined
+                    ),
+                );
+                self.last_quarantined = q;
+            }
+        }
+        self.last = stats;
+        if let Some(hb) = &mut self.heartbeat {
+            hb.maybe_beat(engine, follow);
+        }
+        if DUMP_REQUESTED.swap(false, Ordering::SeqCst) {
+            flight::record_global("signal", "SIGUSR1: dump requested");
+            self.dump_flight();
+        }
+    }
+
+    fn dump_flight(&self) {
+        flight::dump_global(&mut std::io::stderr().lock());
+        if let Some(path) = &self.flight_file {
+            match std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+            {
+                Ok(mut f) => flight::dump_global(&mut f),
+                Err(e) => eprintln!("cannot open flight file {path}: {e}"),
+            }
+        }
+    }
+}
+
 /// Routes one merged-stream line to its source by envelope sniffing.
 /// Unrecognisable envelopes go to the console parser, which counts them
 /// as skipped (same behaviour as garbage inside a known stream).
@@ -130,7 +331,7 @@ fn route(engine: &mut StreamEngine, line: &str) {
     engine.push_line(source, line);
 }
 
-fn run_stdin(engine: &mut StreamEngine, poll: Duration) {
+fn run_stdin(engine: &mut StreamEngine, monitor: &mut Monitor, poll: Duration) {
     // A detached reader thread turns the blocking stdin into a channel the
     // main loop can poll alongside the shutdown flag.
     let (tx, rx) = mpsc::sync_channel::<String>(4096);
@@ -146,37 +347,50 @@ fn run_stdin(engine: &mut StreamEngine, poll: Duration) {
     loop {
         if shutting_down() {
             eprintln!("hpc-watch: signal received, finishing ...");
+            flight::record_global("signal", "SIGINT/SIGTERM: draining");
             break;
         }
         match rx.recv_timeout(poll) {
             Ok(line) => route(engine, &line),
-            Err(mpsc::RecvTimeoutError::Timeout) => continue,
-            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                flight::record_global("eof", "stdin closed: draining");
+                break;
+            }
         }
+        monitor.observe(engine, None);
     }
 }
 
 fn run_follow(
     engine: &mut StreamEngine,
+    monitor: &mut Monitor,
     dir: &std::path::Path,
     poll: Duration,
-) -> hpc_node_failures::stream::FollowStats {
-    let mut follow = hpc_node_failures::stream::follow::FollowDir::new(dir);
+) -> FollowDir {
+    let mut follow = FollowDir::new(dir);
     loop {
         if shutting_down() {
             eprintln!("hpc-watch: signal received, finishing ...");
+            flight::record_global("signal", "SIGINT/SIGTERM: draining");
             break;
         }
-        if follow.poll_into(engine) == 0 {
+        let fed = follow.poll_into(engine);
+        monitor.observe(engine, Some(&follow));
+        if fed == 0 {
             std::thread::sleep(poll);
         }
     }
-    follow.stats()
+    // Returned (not just its stats) so the drain path can emit a final
+    // heartbeat that still carries the follow_* fields.
+    follow
 }
 
 fn main() {
     let opts = parse_args();
     install_signal_handlers();
+    flight::install_global(Arc::new(Mutex::new(FlightRecorder::new(FLIGHT_CAPACITY))));
+    flight::install_panic_hook();
 
     let mut engine = StreamEngine::new(opts.config);
     if !opts.quiet {
@@ -191,8 +405,14 @@ fn main() {
             }
         }
     }
+    let heartbeat = opts
+        .heartbeat_jsonl
+        .as_deref()
+        .map(|path| Heartbeat::open(path, opts.heartbeat));
+    let mut monitor = Monitor::new(heartbeat, opts.flight_file.clone());
+    flight::record_global("start", "engine configured");
 
-    let follow_stats = match &opts.follow {
+    let follow_dir = match &opts.follow {
         Some(dir) => {
             // Fail fast with one clear line on a missing or unreadable
             // archive root instead of silently polling it forever.
@@ -200,14 +420,26 @@ fn main() {
                 eprintln!("cannot read log directory {}: {e}", dir.display());
                 exit(1);
             }
-            Some(run_follow(&mut engine, dir, opts.poll))
+            Some(dir.clone())
         }
+        None => None,
+    };
+    let follow_tail = match &follow_dir {
+        Some(dir) => Some(run_follow(&mut engine, &mut monitor, dir, opts.poll)),
         None => {
-            run_stdin(&mut engine, opts.poll);
+            run_stdin(&mut engine, &mut monitor, opts.poll);
             None
         }
     };
+
+    // The drain path — identical for clean EOF and SIGINT/SIGTERM: finish
+    // the engine (flushes alert sinks), write the final heartbeat, print
+    // the summary, then persist telemetry. Nothing below is conditional on
+    // *how* the input ended.
     engine.finish();
+    if let Some(hb) = &mut monitor.heartbeat {
+        hb.beat(&engine, follow_tail.as_ref(), true);
+    }
 
     let stats = engine.stats();
     eprintln!(
@@ -227,7 +459,7 @@ fn main() {
         stats.window_peak,
         stats.window_evicted,
     );
-    if let Some(fs) = follow_stats {
+    if let Some(fs) = follow_tail.as_ref().map(FollowDir::stats) {
         // Loss accounting per the degradation contract (DESIGN.md §10).
         eprintln!(
             "hpc-watch: follow degradation: {} io errors, {} quarantines ({} recovered), \
@@ -245,6 +477,11 @@ fn main() {
     let snapshot = telemetry::snapshot();
     eprintln!("--- telemetry ---");
     eprint!("{}", telemetry::summary_table(&snapshot));
+    let profile = telemetry::profile_table(&snapshot);
+    if !profile.is_empty() {
+        eprintln!("--- profile ---");
+        eprint!("{profile}");
+    }
     if let Some(path) = opts.telemetry_json {
         if let Err(e) = std::fs::write(&path, snapshot.to_json()) {
             eprintln!("failed to write telemetry JSON to {path}: {e}");

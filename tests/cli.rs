@@ -100,6 +100,135 @@ fn telemetry_json_flag_writes_valid_report() {
 }
 
 #[test]
+fn diagnose_prints_nested_profile_table() {
+    let dir = tmpdir("profile");
+    let sim = Command::new(env!("CARGO_BIN_EXE_hpc-simulate"))
+        .args([dir.to_str().unwrap(), "S1", "1", "2", "99"])
+        .output()
+        .expect("run hpc-simulate");
+    assert!(sim.status.success(), "simulate failed: {sim:?}");
+
+    let diag = Command::new(env!("CARGO_BIN_EXE_hpc-diagnose"))
+        .arg(dir.to_str().unwrap())
+        .output()
+        .expect("run hpc-diagnose");
+    assert!(diag.status.success(), "diagnose failed: {diag:?}");
+    let stderr = String::from_utf8_lossy(&diag.stderr);
+    let profile = stderr
+        .split("--- profile ---")
+        .nth(1)
+        .expect("profile table after the telemetry table");
+    // The span tree nests: ingest under the pipeline root, the per-stream
+    // parsers one level deeper, each with its own self time.
+    assert!(profile.contains("\ncore.from_dir"), "{profile}");
+    assert!(profile.contains("\n  core.ingest.parse"), "{profile}");
+    assert!(
+        profile.contains("\n    core.ingest.parse.console"),
+        "{profile}"
+    );
+    assert!(profile.contains(" self"), "{profile}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// SIGTERM mid-stream must still produce every exit artefact: drained
+/// summary, telemetry JSON, and a heartbeat file whose last record is
+/// marked final — the flush contract of the drain path.
+#[cfg(unix)]
+#[test]
+fn watch_sigterm_flushes_heartbeat_and_telemetry() {
+    use std::io::Write;
+    use std::process::Stdio;
+    use std::time::Duration;
+
+    let dir = tmpdir("sigterm-flush");
+    let sim = Command::new(env!("CARGO_BIN_EXE_hpc-simulate"))
+        .args([dir.to_str().unwrap(), "S1", "1", "1", "99"])
+        .output()
+        .expect("run hpc-simulate");
+    assert!(sim.status.success(), "simulate failed: {sim:?}");
+    let console = dir.join("p0-directory").join("console");
+    let lines = std::fs::read_to_string(&console).expect("console stream");
+
+    // A FIFO keeps stdin open so hpc-watch idles mid-stream instead of
+    // draining on EOF; only the signal can end the run.
+    let fifo = dir.join("watch-fifo");
+    assert!(Command::new("mkfifo")
+        .arg(&fifo)
+        .status()
+        .expect("mkfifo")
+        .success());
+    let writer = {
+        let fifo = fifo.clone();
+        std::thread::spawn(move || {
+            // Blocks until hpc-watch opens the read side.
+            let mut w = std::fs::OpenOptions::new().write(true).open(&fifo).unwrap();
+            for line in lines.lines().take(500) {
+                writeln!(w, "{line}").unwrap();
+            }
+            // Hold the FIFO open past the SIGTERM so EOF never happens.
+            std::thread::sleep(Duration::from_secs(8));
+        })
+    };
+
+    let heartbeat = dir.join("heartbeat.jsonl");
+    let telemetry = dir.join("watch-telemetry.json");
+    let stdin = std::fs::File::open(&fifo).expect("open fifo read side");
+    let child = Command::new(env!("CARGO_BIN_EXE_hpc-watch"))
+        .args([
+            "--stdin",
+            "--quiet",
+            "--heartbeat-jsonl",
+            heartbeat.to_str().unwrap(),
+            "--heartbeat-secs",
+            "1",
+            "--telemetry-json",
+            telemetry.to_str().unwrap(),
+        ])
+        .stdin(Stdio::from(stdin))
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn hpc-watch");
+
+    // Let it ingest and emit at least one periodic heartbeat, then TERM.
+    std::thread::sleep(Duration::from_millis(2500));
+    assert!(Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("kill")
+        .success());
+    let out = child.wait_with_output().expect("wait for hpc-watch");
+    assert!(out.status.success(), "drain exit nonzero: {out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("signal received"), "{stderr}");
+    assert!(stderr.contains("hpc-watch:"), "{stderr}");
+
+    // Heartbeat file: >= 2 records (one periodic + the final), every line
+    // well-formed flat JSON, last one marked final.
+    let hb = std::fs::read_to_string(&heartbeat).expect("heartbeat flushed");
+    let records: Vec<&str> = hb.lines().collect();
+    assert!(records.len() >= 2, "want periodic + final records: {hb}");
+    for line in &records {
+        let v = hpc_node_failures::telemetry::json::parse(line)
+            .unwrap_or_else(|e| panic!("bad heartbeat line {line}: {e}"));
+        assert_eq!(v.get("v").unwrap().as_number(), Some(1.0));
+        assert!(v.get("lines").unwrap().as_number().unwrap() >= 0.0);
+    }
+    let last = hpc_node_failures::telemetry::json::parse(records.last().unwrap()).unwrap();
+    assert_eq!(
+        last.get("final"),
+        Some(&hpc_node_failures::telemetry::json::JsonValue::Bool(true)),
+        "last heartbeat not final: {hb}"
+    );
+
+    // Telemetry JSON flushed on the same path.
+    let text = std::fs::read_to_string(&telemetry).expect("telemetry flushed on signal");
+    hpc_node_failures::telemetry::Snapshot::from_json(&text).expect("telemetry parses");
+
+    writer.join().unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn diagnose_rejects_missing_directory() {
     let out = Command::new(env!("CARGO_BIN_EXE_hpc-diagnose"))
         .arg("/nonexistent/hpc-logs-dir")

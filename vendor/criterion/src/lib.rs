@@ -61,7 +61,7 @@ impl From<String> for BenchmarkId {
 /// Top-level driver handed to each bench function.
 #[derive(Default)]
 pub struct Criterion {
-    /// Substring filter from argv (cargo bench -- <filter>).
+    /// Substring filter from argv (`cargo bench -- <filter>`).
     filter: Option<String>,
 }
 
