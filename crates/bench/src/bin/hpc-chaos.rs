@@ -18,7 +18,10 @@
 //!   and events gained never exceed `duplicated lines × RECORD_SLACK`;
 //! * **clean is exact**: the zero-corruption batch cell reproduces the
 //!   golden report byte-identically (and matches the in-memory pipeline),
-//!   and the zero-corruption stream cell reproduces batch detection;
+//!   the zero-corruption stream cell reproduces batch detection, and the
+//!   store cell round-trips the diagnosis through a persisted segment
+//!   store (`Diagnosis::save_store` → `from_store`) byte-identically —
+//!   then proves a bit-flipped segment fails the reopen cleanly;
 //! * **alerts still flow**: every cell still detects failures.
 //!
 //! The text scorecard goes to stdout; `--json` writes it as JSON for CI
@@ -211,6 +214,100 @@ fn run_batch_cell(
                 if cell.failures == 0 {
                     cell.violations.push("clean cell found no failures".into());
                 }
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    cell
+}
+
+/// Runs the segment-store clean cell: the finished clean diagnosis is
+/// persisted as a segment store, reopened via `Diagnosis::from_store`, and
+/// must reproduce the in-memory report (and the golden fixture) byte for
+/// byte. A flipped byte in one segment must then fail the reopen with a
+/// clean error — corruption of the binary store is part of the campaign's
+/// threat model, not just corruption of the text feed.
+fn run_store_cell(clean: &Diagnosis, total_lines: u64, fixture: &str, in_memory: &str) -> Cell {
+    let mut cell = Cell {
+        mode: "store",
+        pathology: "clean".to_string(),
+        intensity: "-".to_string(),
+        lines: total_lines,
+        corruptions: 0,
+        skipped: 0,
+        events: 0,
+        failures: 0,
+        events_lost: 0,
+        events_gained: 0,
+        golden_identical: None,
+        violations: Vec::new(),
+    };
+    let dir = cell_dir("store-clean");
+    let _ = std::fs::remove_dir_all(&dir);
+    if let Err(e) = clean.save_store(
+        &dir,
+        "chaos",
+        total_lines,
+        hpc_platform::system::SchedulerKind::Slurm,
+    ) {
+        cell.violations.push(format!("save_store failed: {e}"));
+        return cell;
+    }
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        Diagnosis::from_store(&dir, DiagnosisConfig::default())
+    }));
+    match outcome {
+        Err(_) => cell.violations.push("panicked during store reopen".into()),
+        Ok(Err(e)) => cell.violations.push(format!("store reopen failed: {e}")),
+        Ok(Ok(d)) => {
+            cell.skipped = d.skipped_lines;
+            cell.events = d.events().len() as u64;
+            cell.failures = d.failures.len() as u64;
+            let jobs = JobLog::from_diagnosis(&d);
+            let got = report::full_report(&d, &jobs);
+            if got != in_memory {
+                cell.violations
+                    .push("store replay report != in-memory report".into());
+            }
+            let identical = !fixture.is_empty() && got == fixture;
+            cell.golden_identical = Some(identical);
+            if !fixture.is_empty() && !identical {
+                cell.violations
+                    .push("store replay report != golden fixture".into());
+            }
+            if cell.failures == 0 {
+                cell.violations.push("clean cell found no failures".into());
+            }
+        }
+    }
+    // Corrupt one byte of one segment: the reopen must degrade to a clean
+    // error, never a panic and never a silently different diagnosis.
+    let victim = std::fs::read_dir(&dir).ok().and_then(|entries| {
+        entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .find(|p| p.extension().is_some_and(|x| x == "col"))
+    });
+    match victim {
+        None => cell.violations.push("store has no segment files".into()),
+        Some(path) => {
+            let mut bytes = std::fs::read(&path).unwrap_or_default();
+            let mid = bytes.len() / 2;
+            if let Some(b) = bytes.get_mut(mid) {
+                *b ^= 0xff;
+            }
+            let _ = std::fs::write(&path, &bytes);
+            cell.corruptions = 1;
+            let reopen = catch_unwind(AssertUnwindSafe(|| {
+                Diagnosis::from_store(&dir, DiagnosisConfig::default())
+            }));
+            match reopen {
+                Err(_) => cell
+                    .violations
+                    .push("panicked reopening a corrupted store".into()),
+                Ok(Ok(_)) => cell
+                    .violations
+                    .push("corrupted store reopened without error".into()),
+                Ok(Err(_)) => {}
             }
         }
     }
@@ -473,6 +570,16 @@ fn main() {
     }
     cells.push(clean_batch);
     cells.push(clean_stream);
+
+    // Clean store cell: the campaign's replay path rehosted onto segment
+    // reopen — persist, reopen, byte-compare, then survive a bit flip.
+    eprintln!("hpc-chaos: store clean cell ...");
+    cells.push(run_store_cell(
+        &clean,
+        archive.total_lines(),
+        &fixture,
+        &in_memory_report,
+    ));
 
     // The corruption matrix: every pathology alone, then everything at
     // once, at both intensities, through the batch byte path.

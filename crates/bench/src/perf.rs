@@ -1,12 +1,13 @@
 //! Tracked performance trajectory: the fixed workload matrix behind the
-//! `hpc-bench` binary and the `BENCH_0007.json` artefact.
+//! `hpc-bench` binary and the `BENCH_0008.json` artefact.
 //!
 //! Criterion benches (`benches/`) answer "is this change faster?" on a
 //! developer box; they leave no durable record, so regressions that creep
 //! in over many PRs are invisible. This module runs a *fixed, seeded*
 //! workload matrix over the hot paths — ingest (sequential and pooled),
-//! EventStore build, indexed queries, stream replay, chaos-corrupted
-//! ingest — and renders the result as a schema-versioned JSON report that
+//! EventStore build, indexed queries, segment-store reopen and cold
+//! query, stream replay, chaos-corrupted ingest — and renders the result
+//! as a schema-versioned JSON report that
 //! is committed at the repo root and diffed by the CI `bench-gate` job
 //! (`--gate <baseline>` exits nonzero on a regression beyond tolerance).
 //!
@@ -36,7 +37,7 @@ use hpc_telemetry::json::{self, JsonValue};
 pub const SCHEMA_VERSION: u64 = 1;
 
 /// Default report file name at the repo root.
-pub const DEFAULT_OUT: &str = "BENCH_0007.json";
+pub const DEFAULT_OUT: &str = "BENCH_0008.json";
 
 /// Default gate tolerance: current median may drop this far below the
 /// baseline median before the gate fails.
@@ -58,7 +59,7 @@ pub struct BenchParams {
 }
 
 impl BenchParams {
-    /// The full tracked matrix (what `BENCH_0007.json` records).
+    /// The full tracked matrix (what `BENCH_0008.json` records).
     pub fn full() -> BenchParams {
         BenchParams {
             system: SystemId::S1,
@@ -123,14 +124,21 @@ pub fn median(values: &[f64]) -> f64 {
     }
 }
 
-/// Nearest-rank p95 of `values`.
+/// Nearest-rank p95 of `values`: the smallest element with at least 95%
+/// of the sample at or below it, i.e. rank `⌈0.95·n⌉` (1-based).
+///
+/// Computed in integers as `⌈95n/100⌉`: the float route
+/// `(0.95 * n as f64).ceil()` misranks exact multiples — `0.95 × 20`
+/// evaluates to `19.000000000000004`, whose ceiling picks rank 20 (the
+/// maximum) instead of rank 19 — which quietly loosened every `--gate`
+/// verdict built on this number.
 pub fn p95(values: &[f64]) -> f64 {
     let mut v = values.to_vec();
     v.sort_by(|a, b| a.total_cmp(b));
     if v.is_empty() {
         return 0.0;
     }
-    let rank = ((0.95 * v.len() as f64).ceil() as usize).clamp(1, v.len());
+    let rank = (v.len() * 95).div_ceil(100).max(1);
     v[rank - 1]
 }
 
@@ -267,7 +275,80 @@ pub fn run_matrix(
     measurements.push(summarize("store.query", "queries_per_sec", query));
     progress("store.query done");
 
-    // 5. Stream replay: the merged archive through a fresh StreamEngine,
+    // 5. Segment-store reopen: the store is written once outside the
+    //   timers, then each run performs the validated open — manifest,
+    //   envelope, checksum and footer verification of every file, no row
+    //   decode (`segment::Store::open`). Row decode is the scan phase,
+    //   measured end-to-end by `store.query.cold`. The denominator is the
+    //   same line count as `ingest.cold`, so the two medians compare
+    //   directly — reopen replaces ingest, and the tracked target is
+    //   store.open ≥ 10× ingest.cold.
+    let store_dir = std::env::temp_dir().join(format!(
+        "hpc-bench-store-{}-{}",
+        std::process::id(),
+        params.seed
+    ));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    diagnosis
+        .save_store(
+            &store_dir,
+            "bench",
+            archive.total_lines(),
+            hpc_platform::system::SchedulerKind::Slurm,
+        )
+        .expect("write bench segment store");
+    let open: Vec<f64> = (0..params.runs)
+        .map(|_| {
+            throughput(lines, || {
+                let store =
+                    hpc_diagnosis::segment::Store::open(&store_dir).expect("reopen bench store");
+                store.manifest().events
+            })
+        })
+        .collect();
+    let open_median = median(&open);
+    measurements.push(summarize("store.open", "lines_per_sec", open));
+    progress("store.open done");
+
+    // 6. Cold store query: the full `hpc-query` path — reopen the store,
+    //   rebuild the posting lists, and answer one per-class count plus a
+    //   windowed count — per *query*, so the number stays comparable as
+    //   the class set grows.
+    let (win_from, win_to) = diagnosis.window();
+    let classes: Vec<hpc_diagnosis::EventClass> =
+        hpc_diagnosis::segment::class_counts(diagnosis.events())
+            .into_keys()
+            .collect();
+    let cold_queries = (classes.len() + 1) as f64;
+    let query_cold: Vec<f64> = (0..params.runs)
+        .map(|_| {
+            throughput(cold_queries, || {
+                let opened =
+                    hpc_diagnosis::segment::open_store(&store_dir).expect("reopen for query");
+                let failures = opened.failures.clone();
+                let store = EventStore::build(opened.events, &failures);
+                let mut total = 0u64;
+                for class in &classes {
+                    let filter = hpc_diagnosis::query::QueryFilter {
+                        classes: vec![*class],
+                        ..Default::default()
+                    };
+                    total += hpc_diagnosis::query::count(&store, &filter);
+                }
+                let windowed = hpc_diagnosis::query::QueryFilter {
+                    from: Some(win_from),
+                    to: Some(win_to),
+                    ..Default::default()
+                };
+                total + hpc_diagnosis::query::count(&store, &windowed)
+            })
+        })
+        .collect();
+    let _ = std::fs::remove_dir_all(&store_dir);
+    measurements.push(summarize("store.query.cold", "queries_per_sec", query_cold));
+    progress("store.query.cold done");
+
+    // 7. Stream replay: the merged archive through a fresh StreamEngine,
     //   finish included (the CI watch smoke, minus process overhead).
     let merged = merged_stream_lines(archive);
     let replay: Vec<f64> = (0..params.runs)
@@ -285,7 +366,7 @@ pub fn run_matrix(
     measurements.push(summarize("stream.replay", "lines_per_sec", replay));
     progress("stream.replay done");
 
-    // 6. Chaos ingest: cold ingest of a mixed-corruption feed — the
+    // 8. Chaos ingest: cold ingest of a mixed-corruption feed — the
     //   hardened parse path under adversarial input. The feed is written
     //   to a scratch dir once, outside the timers, so every run pays the
     //   same (cached) read cost and the delta against `ingest.cold` is
@@ -314,9 +395,16 @@ pub fn run_matrix(
     measurements.push(summarize("chaos.ingest", "lines_per_sec", chaos));
     progress("chaos.ingest done");
 
-    // Info-only: how much slower corrupted input parses than clean input.
+    // Info-only: how much slower corrupted input parses than clean input,
+    // and how much faster a store reopen is than cold text ingest (the
+    // acceptance target for the segment store is ≥ 10×).
     let overhead_pct = if chaos_median > 0.0 {
         (cold_median / chaos_median - 1.0) * 100.0
+    } else {
+        0.0
+    };
+    let open_speedup = if cold_median > 0.0 {
+        open_median / cold_median
     } else {
         0.0
     };
@@ -327,7 +415,10 @@ pub fn run_matrix(
         quick,
         params: params.clone(),
         measurements,
-        info: vec![("chaos_overhead_pct".to_string(), overhead_pct)],
+        info: vec![
+            ("chaos_overhead_pct".to_string(), overhead_pct),
+            ("store_open_speedup_x".to_string(), open_speedup),
+        ],
     }
 }
 
@@ -643,6 +734,30 @@ mod tests {
     }
 
     #[test]
+    fn p95_picks_the_exact_nearest_rank() {
+        // Small N: ⌈0.95·n⌉ is n for n ≤ 20, so the max is correct…
+        assert_eq!(p95(&[]), 0.0);
+        assert_eq!(p95(&[7.0]), 7.0);
+        assert_eq!(p95(&[7.0, 3.0]), 7.0);
+        assert_eq!(p95(&[7.0, 3.0, 9.0]), 9.0);
+        // …until exactly N=20, where ⌈19.0⌉ = rank 19 — NOT the maximum.
+        // The old float path computed 0.95×20 = 19.000000000000004 and
+        // took its ceiling, rank 20.
+        let twenty: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        assert_eq!(p95(&twenty), 19.0);
+        // Order-free: rank is about the sorted sample.
+        let mut shuffled = twenty.clone();
+        shuffled.reverse();
+        assert_eq!(p95(&shuffled), 19.0);
+        // N=21: ⌈19.95⌉ = rank 20.
+        let twenty_one: Vec<f64> = (1..=21).map(|i| i as f64).collect();
+        assert_eq!(p95(&twenty_one), 20.0);
+        // Other exact multiples of 20 must also stay off the maximum.
+        let forty: Vec<f64> = (1..=40).map(|i| i as f64).collect();
+        assert_eq!(p95(&forty), 38.0);
+    }
+
+    #[test]
     fn gate_passes_within_tolerance_and_fails_beyond() {
         let base = report_with(&[("ingest.cold", 1000.0), ("stream.replay", 2000.0)]);
         let ok = report_with(&[("ingest.cold", 900.0), ("stream.replay", 2400.0)]);
@@ -709,12 +824,15 @@ mod tests {
                 "ingest.parallel",
                 "store.build",
                 "store.query",
+                "store.open",
+                "store.query.cold",
                 "stream.replay",
                 "chaos.ingest"
             ]
         );
         assert!(report.measurements.iter().all(|m| m.median > 0.0));
         assert!(report.info.iter().any(|(k, _)| k == "chaos_overhead_pct"));
+        assert!(report.info.iter().any(|(k, _)| k == "store_open_speedup_x"));
         // And a self-gate at any tolerance passes.
         let rows = gate(&report, &report, 0.1);
         assert!(rows.iter().all(|r| !r.regressed));

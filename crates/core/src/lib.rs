@@ -30,8 +30,10 @@ pub mod jobs;
 pub mod lead_time;
 pub mod pipeline;
 pub mod prediction;
+pub mod query;
 pub mod report;
 pub mod root_cause;
+pub mod segment;
 pub mod spatial;
 pub mod stack_trace;
 pub mod store;
@@ -39,5 +41,9 @@ pub mod swo;
 
 pub use detection::{DetectedFailure, TerminalKind};
 pub use pipeline::{Diagnosis, DiagnosisConfig};
+pub use query::{HistKey, QueryFilter};
 pub use root_cause::{CauseBreakdown, CauseClass, Fig16Bucket, InferredCause};
+pub use segment::{
+    open_store, write_store, Manifest, OpenError, OpenedStore, Store, StoreContents,
+};
 pub use store::{EntityIndex, EventClass, EventStore, Postings};

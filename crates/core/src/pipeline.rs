@@ -24,9 +24,11 @@ use hpc_logs::chunk::{
 use hpc_logs::event::{LogEvent, LogSource};
 use hpc_logs::parse::LogParser;
 use hpc_logs::time::{SimDuration, SimTime};
+use hpc_platform::system::SchedulerKind;
 use hpc_platform::{BladeId, CabinetId, NodeId};
 
 use crate::detection::{detect_failures, DetectedFailure};
+use crate::segment::{self, Manifest, OpenError, StoreContents};
 use crate::store::EventStore;
 use crate::swo::{detect_swos, partition_failures, SwoConfig, SwoWindow};
 
@@ -239,6 +241,53 @@ impl Diagnosis {
             skipped_lines,
             store,
         }
+    }
+
+    /// Persists this diagnosis as an on-disk segment store in `dir` (see
+    /// [`crate::segment`]): the merged event sequence columnar-encoded per
+    /// class, plus the detection outputs, so later runs reopen in
+    /// milliseconds instead of re-parsing text. `source` is a provenance
+    /// string for the manifest; `total_lines` and `scheduler` describe the
+    /// archive the diagnosis was built from.
+    pub fn save_store(
+        &self,
+        dir: &Path,
+        source: &str,
+        total_lines: u64,
+        scheduler: SchedulerKind,
+    ) -> io::Result<Manifest> {
+        segment::write_store(
+            dir,
+            &StoreContents {
+                events: self.store.events(),
+                failures: &self.failures,
+                swos: &self.swos,
+                swo_failures: &self.swo_failures,
+                skipped_lines: self.skipped_lines,
+                total_lines,
+                scheduler,
+                source,
+            },
+        )
+    }
+
+    /// Reopens a segment store written by [`Diagnosis::save_store`]. The
+    /// persisted detection outputs are trusted as-is — no re-detection, no
+    /// re-partitioning — so the result (and any report rendered from it)
+    /// is identical to the diagnosis that wrote the store, at a fraction
+    /// of the cost.
+    pub fn from_store(dir: &Path, config: DiagnosisConfig) -> Result<Diagnosis, OpenError> {
+        let _span = hpc_telemetry::span!("core.from_store");
+        let opened = segment::open_store(dir)?;
+        let store = EventStore::build(opened.events, &opened.failures);
+        Ok(Diagnosis {
+            config,
+            failures: opened.failures,
+            swos: opened.swos,
+            swo_failures: opened.swo_failures,
+            skipped_lines: opened.manifest.skipped_lines,
+            store,
+        })
     }
 
     /// The underlying [`EventStore`], for class-level and failure-index

@@ -1,0 +1,606 @@
+//! Ad-hoc query layer over an [`EventStore`] — the library behind the
+//! `hpc-query` binary.
+//!
+//! A [`QueryFilter`] narrows the event population by class set, subject
+//! entity (node / blade / cabinet) and half-open time window `[from, to)`.
+//! [`QueryFilter::select`] picks the cheapest index path the store offers
+//! for the filter (class postings, per-node postings, or the time-sliced
+//! event column) and post-filters the rest, so results are *identical* to
+//! a linear scan — the round-trip proptests rely on that equivalence —
+//! while touching only the indexed subset.
+//!
+//! Four verbs cover the re-analysis workload: [`count`], [`histogram`]
+//! (bucketed by class, entity or time), [`tail`] (the last N matching
+//! events rendered back into their original log-line form), and
+//! [`failures`] (the persisted detection output, filterable the same
+//! way). Each verb renders to both plain text and JSON from one result
+//! value, keeping the two output modes structurally in sync.
+
+use std::collections::BTreeMap;
+
+use hpc_logs::event::{nid_name, LogEvent, Payload};
+use hpc_logs::time::SimTime;
+use hpc_platform::system::SchedulerKind;
+use hpc_platform::{BladeId, CabinetId, NodeId};
+use hpc_telemetry::json::JsonValue;
+
+use crate::detection::{DetectedFailure, TerminalKind};
+use crate::store::{EventClass, EventStore};
+
+/// Event predicate: class set, subject entity, and half-open time window.
+/// Empty/None fields match everything.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryFilter {
+    /// Match events of any of these classes (empty = all classes).
+    pub classes: Vec<EventClass>,
+    /// Match events whose subject node is this node.
+    pub node: Option<NodeId>,
+    /// Match events whose subject blade is this blade.
+    pub blade: Option<BladeId>,
+    /// Match events attributable to this cabinet.
+    pub cabinet: Option<CabinetId>,
+    /// Inclusive lower time bound.
+    pub from: Option<SimTime>,
+    /// Exclusive upper time bound.
+    pub to: Option<SimTime>,
+}
+
+/// The cabinet most directly implicated by an event: its subject node's
+/// cabinet, else a controller/ERD scope's cabinet.
+fn subject_cabinet(e: &LogEvent) -> Option<CabinetId> {
+    if let Some(n) = e.subject_node() {
+        return Some(n.cabinet());
+    }
+    match &e.payload {
+        Payload::Controller { scope, .. } | Payload::Erd { scope, .. } => Some(scope.cabinet()),
+        _ => None,
+    }
+}
+
+impl QueryFilter {
+    /// Whether `e` satisfies every set predicate. Time bounds are
+    /// `[from, to)`, matching the store's range semantics.
+    pub fn matches(&self, e: &LogEvent) -> bool {
+        if !self.classes.is_empty() && !self.classes.contains(&EventClass::of(&e.payload)) {
+            return false;
+        }
+        if let Some(n) = self.node {
+            if e.subject_node() != Some(n) {
+                return false;
+            }
+        }
+        if let Some(b) = self.blade {
+            if e.subject_blade() != Some(b) {
+                return false;
+            }
+        }
+        if let Some(c) = self.cabinet {
+            if subject_cabinet(e) != Some(c) {
+                return false;
+            }
+        }
+        if let Some(from) = self.from {
+            if e.time < from {
+                return false;
+            }
+        }
+        if let Some(to) = self.to {
+            if e.time >= to {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn time_bounds(&self) -> (SimTime, SimTime) {
+        (
+            self.from.unwrap_or(SimTime::EPOCH),
+            self.to.unwrap_or(SimTime::from_millis(u64::MAX)),
+        )
+    }
+
+    /// Matching events in chronological (merge) order. Routes through the
+    /// narrowest applicable index — class postings beat the per-node index
+    /// beat the raw time slice — then applies the remaining predicates;
+    /// the result equals filtering [`EventStore::events`] linearly.
+    pub fn select<'a>(&self, store: &'a EventStore) -> Vec<&'a LogEvent> {
+        let (from, to) = self.time_bounds();
+        let mut hits: Vec<&LogEvent> = if !self.classes.is_empty() {
+            store
+                .classes_events_between(&self.classes, from, to)
+                .collect()
+        } else if let Some(n) = self.node {
+            store.node_events_between(n, from, to).collect()
+        } else {
+            store.events_between(from, to).iter().collect()
+        };
+        hits.retain(|e| self.matches(e));
+        hits
+    }
+}
+
+/// Number of matching events.
+pub fn count(store: &EventStore, filter: &QueryFilter) -> u64 {
+    // Pure class+time filters answer from posting-list lengths alone.
+    if filter.node.is_none() && filter.cabinet.is_none() && filter.blade.is_none() {
+        let (from, to) = filter.time_bounds();
+        if filter.classes.is_empty() {
+            return store.events_between(from, to).len() as u64;
+        }
+        let mut classes = filter.classes.clone();
+        classes.dedup();
+        return classes
+            .iter()
+            .map(|&c| store.class_events_between(c, from, to).count() as u64)
+            .sum();
+    }
+    filter.select(store).len() as u64
+}
+
+/// Histogram bucketing dimension for the `histogram` verb.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HistKey {
+    /// Bucket by event class.
+    Class,
+    /// Bucket by subject node.
+    Node,
+    /// Bucket by subject blade.
+    Blade,
+    /// Bucket by implicated cabinet.
+    Cabinet,
+    /// Bucket by simulation day index.
+    Day,
+    /// Bucket by hour of day (0–23).
+    Hour,
+}
+
+impl HistKey {
+    /// CLI spelling.
+    pub fn key(self) -> &'static str {
+        match self {
+            HistKey::Class => "class",
+            HistKey::Node => "node",
+            HistKey::Blade => "blade",
+            HistKey::Cabinet => "cabinet",
+            HistKey::Day => "day",
+            HistKey::Hour => "hour",
+        }
+    }
+
+    /// Parses a CLI spelling.
+    pub fn parse(s: &str) -> Option<HistKey> {
+        [
+            HistKey::Class,
+            HistKey::Node,
+            HistKey::Blade,
+            HistKey::Cabinet,
+            HistKey::Day,
+            HistKey::Hour,
+        ]
+        .into_iter()
+        .find(|k| k.key() == s)
+    }
+}
+
+/// One histogram bucket: label and event count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistBucket {
+    /// Bucket label (class key, `nid00042`, `blade 3`, `day 2`, …).
+    pub label: String,
+    /// Matching events in the bucket.
+    pub count: u64,
+}
+
+/// Matching events bucketed by `key`. Entity-keyed histograms sort by
+/// descending count (label as tie-break); time-keyed histograms sort by
+/// ascending bucket. Events without the keyed attribute are dropped.
+pub fn histogram(store: &EventStore, filter: &QueryFilter, key: HistKey) -> Vec<HistBucket> {
+    // (sort_key, label) — sort_key keeps time buckets numeric.
+    let mut buckets: BTreeMap<(u64, String), u64> = BTreeMap::new();
+    for e in filter.select(store) {
+        let entry = match key {
+            HistKey::Class => Some((0, EventClass::of(&e.payload).key().to_string())),
+            HistKey::Node => e.subject_node().map(|n| (0, nid_name(n))),
+            HistKey::Blade => e.subject_blade().map(|b| (0, format!("blade {}", b.0))),
+            HistKey::Cabinet => subject_cabinet(e).map(|c| (0, format!("cabinet {}", c.0))),
+            HistKey::Day => Some((e.time.day_index(), format!("day {}", e.time.day_index()))),
+            HistKey::Hour => Some((
+                e.time.hour_of_day() as u64,
+                format!("hour {:02}", e.time.hour_of_day()),
+            )),
+        };
+        if let Some((sort_key, label)) = entry {
+            *buckets.entry((sort_key, label)).or_insert(0) += 1;
+        }
+    }
+    let mut out: Vec<(u64, HistBucket)> = buckets
+        .into_iter()
+        .map(|((sort_key, label), count)| (sort_key, HistBucket { label, count }))
+        .collect();
+    match key {
+        // Time dimensions: chronological.
+        HistKey::Day | HistKey::Hour => out.sort_by_key(|a| a.0),
+        // Entity dimensions: heaviest first, label as deterministic tie.
+        _ => out.sort_by(|a, b| {
+            b.1.count
+                .cmp(&a.1.count)
+                .then_with(|| a.1.label.cmp(&b.1.label))
+        }),
+    }
+    out.into_iter().map(|(_, b)| b).collect()
+}
+
+/// The last `n` matching events, oldest of the `n` first, rendered back
+/// into their original log-line form for `scheduler`.
+pub fn tail(
+    store: &EventStore,
+    filter: &QueryFilter,
+    n: usize,
+    scheduler: SchedulerKind,
+) -> Vec<(SimTime, EventClass, String)> {
+    let hits = filter.select(store);
+    let start = hits.len().saturating_sub(n);
+    hits[start..]
+        .iter()
+        .map(|e| {
+            let lines = hpc_logs::render::render(e, scheduler).join("\n");
+            (e.time, EventClass::of(&e.payload), lines)
+        })
+        .collect()
+}
+
+/// One-word stable label for a terminal signature.
+pub fn terminal_label(t: TerminalKind) -> String {
+    match t {
+        TerminalKind::Panic(reason) => format!("panic:{reason:?}"),
+        TerminalKind::UnexpectedShutdown => "unexpected_shutdown".to_string(),
+        TerminalKind::AdminDown => "admin_down".to_string(),
+        TerminalKind::SchedulerDown => "scheduler_down".to_string(),
+    }
+}
+
+/// Detected failures narrowed by the filter's entity and time predicates
+/// (the class set does not apply — failures are not events).
+pub fn failures(all: &[DetectedFailure], filter: &QueryFilter) -> Vec<DetectedFailure> {
+    all.iter()
+        .filter(|f| {
+            filter.node.is_none_or(|n| f.node == n)
+                && filter.blade.is_none_or(|b| f.node.blade() == b)
+                && filter.cabinet.is_none_or(|c| f.node.cabinet() == c)
+                && filter.from.is_none_or(|from| f.time >= from)
+                && filter.to.is_none_or(|to| f.time < to)
+        })
+        .copied()
+        .collect()
+}
+
+// --- rendering ----------------------------------------------------------
+
+fn jn(v: u64) -> JsonValue {
+    JsonValue::Number(v as f64)
+}
+
+/// `count` result as text (one line).
+pub fn render_count_text(n: u64) -> String {
+    format!("{n}\n")
+}
+
+/// `count` result as JSON.
+pub fn render_count_json(n: u64) -> JsonValue {
+    JsonValue::Object(vec![
+        ("verb".to_string(), JsonValue::String("count".to_string())),
+        ("count".to_string(), jn(n)),
+    ])
+}
+
+/// `histogram` result as an aligned two-column table.
+pub fn render_histogram_text(buckets: &[HistBucket]) -> String {
+    let width = buckets.iter().map(|b| b.label.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for b in buckets {
+        out.push_str(&format!("{:<width$}  {}\n", b.label, b.count));
+    }
+    out
+}
+
+/// `histogram` result as JSON.
+pub fn render_histogram_json(key: HistKey, buckets: &[HistBucket]) -> JsonValue {
+    JsonValue::Object(vec![
+        (
+            "verb".to_string(),
+            JsonValue::String("histogram".to_string()),
+        ),
+        ("key".to_string(), JsonValue::String(key.key().to_string())),
+        (
+            "buckets".to_string(),
+            JsonValue::Array(
+                buckets
+                    .iter()
+                    .map(|b| {
+                        JsonValue::Object(vec![
+                            ("bucket".to_string(), JsonValue::String(b.label.clone())),
+                            ("count".to_string(), jn(b.count)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// `tail` result as the rendered log lines.
+pub fn render_tail_text(rows: &[(SimTime, EventClass, String)]) -> String {
+    let mut out = String::new();
+    for (_, _, line) in rows {
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
+/// `tail` result as JSON.
+pub fn render_tail_json(rows: &[(SimTime, EventClass, String)]) -> JsonValue {
+    JsonValue::Object(vec![
+        ("verb".to_string(), JsonValue::String("tail".to_string())),
+        (
+            "events".to_string(),
+            JsonValue::Array(
+                rows.iter()
+                    .map(|(time, class, line)| {
+                        JsonValue::Object(vec![
+                            ("time_ms".to_string(), jn(time.as_millis())),
+                            ("time".to_string(), JsonValue::String(time.to_string())),
+                            (
+                                "class".to_string(),
+                                JsonValue::String(class.key().to_string()),
+                            ),
+                            ("line".to_string(), JsonValue::String(line.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// `failures` result as text: one `time node terminal` line each, plus a
+/// total.
+pub fn render_failures_text(rows: &[DetectedFailure]) -> String {
+    let mut out = String::new();
+    for f in rows {
+        out.push_str(&format!(
+            "{} {} {}\n",
+            f.time,
+            nid_name(f.node),
+            terminal_label(f.terminal)
+        ));
+    }
+    out.push_str(&format!("total: {}\n", rows.len()));
+    out
+}
+
+/// `failures` result as JSON.
+pub fn render_failures_json(rows: &[DetectedFailure]) -> JsonValue {
+    JsonValue::Object(vec![
+        (
+            "verb".to_string(),
+            JsonValue::String("failures".to_string()),
+        ),
+        ("total".to_string(), jn(rows.len() as u64)),
+        (
+            "failures".to_string(),
+            JsonValue::Array(
+                rows.iter()
+                    .map(|f| {
+                        JsonValue::Object(vec![
+                            ("time_ms".to_string(), jn(f.time.as_millis())),
+                            ("time".to_string(), JsonValue::String(f.time.to_string())),
+                            ("node".to_string(), JsonValue::String(nid_name(f.node))),
+                            (
+                                "terminal".to_string(),
+                                JsonValue::String(terminal_label(f.terminal)),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpc_logs::event::{ConsoleDetail, ControllerDetail, ControllerScope, PanicReason};
+
+    fn ev(ms: u64, node: u32) -> LogEvent {
+        LogEvent {
+            time: SimTime::from_millis(ms),
+            payload: Payload::Console {
+                node: NodeId(node),
+                detail: ConsoleDetail::DiskError,
+            },
+        }
+    }
+
+    fn panic_ev(ms: u64, node: u32) -> LogEvent {
+        LogEvent {
+            time: SimTime::from_millis(ms),
+            payload: Payload::Console {
+                node: NodeId(node),
+                detail: ConsoleDetail::KernelPanic {
+                    reason: PanicReason::KernelBug,
+                },
+            },
+        }
+    }
+
+    fn controller_ev(ms: u64, blade: u32) -> LogEvent {
+        LogEvent {
+            time: SimTime::from_millis(ms),
+            payload: Payload::Controller {
+                scope: ControllerScope::Blade(BladeId(blade)),
+                detail: ControllerDetail::BcHeartbeatFault,
+            },
+        }
+    }
+
+    fn store() -> EventStore {
+        let events = vec![
+            ev(0, 1),
+            panic_ev(1_000, 2),
+            controller_ev(2_000, 0),
+            ev(3_000, 1),
+            ev(3_000, 2),
+            ev(4_000, 9),
+        ];
+        EventStore::build(events, &[])
+    }
+
+    /// Every index path must agree with a linear scan of the event column.
+    fn assert_select_equals_scan(store: &EventStore, filter: &QueryFilter) {
+        let scanned: Vec<&LogEvent> = store
+            .events()
+            .iter()
+            .filter(|e| filter.matches(e))
+            .collect();
+        let selected = filter.select(store);
+        assert_eq!(selected, scanned, "{filter:?}");
+    }
+
+    #[test]
+    fn select_agrees_with_linear_scan_on_every_index_path() {
+        let s = store();
+        let filters = [
+            QueryFilter::default(),
+            QueryFilter {
+                classes: vec![EventClass::DiskError],
+                ..Default::default()
+            },
+            QueryFilter {
+                classes: vec![EventClass::DiskError, EventClass::KernelPanic],
+                node: Some(NodeId(2)),
+                ..Default::default()
+            },
+            QueryFilter {
+                node: Some(NodeId(1)),
+                ..Default::default()
+            },
+            QueryFilter {
+                blade: Some(NodeId(1).blade()),
+                ..Default::default()
+            },
+            QueryFilter {
+                cabinet: Some(CabinetId(0)),
+                from: Some(SimTime::from_millis(1_000)),
+                to: Some(SimTime::from_millis(3_000)),
+                ..Default::default()
+            },
+            QueryFilter {
+                from: Some(SimTime::from_millis(3_000)),
+                ..Default::default()
+            },
+        ];
+        for f in &filters {
+            assert_select_equals_scan(&s, f);
+            assert_eq!(count(&s, f), f.select(&s).len() as u64, "{f:?}");
+        }
+    }
+
+    #[test]
+    fn time_window_is_half_open() {
+        let s = store();
+        let f = QueryFilter {
+            from: Some(SimTime::from_millis(1_000)),
+            to: Some(SimTime::from_millis(3_000)),
+            ..Default::default()
+        };
+        // Includes 1_000 and 2_000, excludes both 3_000 events.
+        assert_eq!(count(&s, &f), 2);
+    }
+
+    #[test]
+    fn histogram_class_orders_by_count_then_label() {
+        let s = store();
+        let buckets = histogram(&s, &QueryFilter::default(), HistKey::Class);
+        assert_eq!(buckets[0].label, "disk_error");
+        assert_eq!(buckets[0].count, 4);
+        let labels: Vec<&str> = buckets.iter().map(|b| b.label.as_str()).collect();
+        assert_eq!(labels, ["disk_error", "bc_heartbeat_fault", "kernel_panic"]);
+    }
+
+    #[test]
+    fn histogram_day_is_chronological() {
+        let events = vec![ev(0, 1), ev(86_400_000, 1), ev(86_400_001, 2)];
+        let s = EventStore::build(events, &[]);
+        let buckets = histogram(&s, &QueryFilter::default(), HistKey::Day);
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0].label, "day 0");
+        assert_eq!(buckets[0].count, 1);
+        assert_eq!(buckets[1].label, "day 1");
+        assert_eq!(buckets[1].count, 2);
+    }
+
+    #[test]
+    fn tail_returns_last_n_oldest_first() {
+        let s = store();
+        let rows = tail(&s, &QueryFilter::default(), 2, SchedulerKind::Slurm);
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].0 <= rows[1].0);
+        assert_eq!(rows[1].0, SimTime::from_millis(4_000));
+        assert!(!rows[0].2.is_empty());
+    }
+
+    #[test]
+    fn failures_verb_filters_by_entity_and_time() {
+        let all = vec![
+            DetectedFailure {
+                node: NodeId(1),
+                time: SimTime::from_millis(1_000),
+                terminal: TerminalKind::AdminDown,
+            },
+            DetectedFailure {
+                node: NodeId(8),
+                time: SimTime::from_millis(2_000),
+                terminal: TerminalKind::SchedulerDown,
+            },
+        ];
+        let by_node = failures(
+            &all,
+            &QueryFilter {
+                node: Some(NodeId(8)),
+                ..Default::default()
+            },
+        );
+        assert_eq!(by_node.len(), 1);
+        assert_eq!(by_node[0].node, NodeId(8));
+        let by_time = failures(
+            &all,
+            &QueryFilter {
+                to: Some(SimTime::from_millis(2_000)),
+                ..Default::default()
+            },
+        );
+        assert_eq!(by_time.len(), 1);
+        assert_eq!(by_time[0].node, NodeId(1));
+        let text = render_failures_text(&by_time);
+        assert!(text.contains("nid00001"));
+        assert!(text.ends_with("total: 1\n"));
+    }
+
+    #[test]
+    fn json_renderings_parse_back() {
+        let s = store();
+        let buckets = histogram(&s, &QueryFilter::default(), HistKey::Class);
+        for v in [
+            render_count_json(7),
+            render_histogram_json(HistKey::Class, &buckets),
+            render_tail_json(&tail(&s, &QueryFilter::default(), 3, SchedulerKind::Slurm)),
+            render_failures_json(&[]),
+        ] {
+            let text = v.pretty();
+            let back = hpc_telemetry::json::parse(&text).unwrap();
+            assert_eq!(back, v);
+        }
+    }
+}

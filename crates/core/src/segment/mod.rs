@@ -1,0 +1,1021 @@
+//! Persistent on-disk segment store.
+//!
+//! The paper's methodology is a *re-analysis* workload: the same
+//! months-long archive is interrogated over and over (Observations 1–9),
+//! yet until now every invocation re-parsed raw log text. This module
+//! persists the ingested, detected, indexed view once — written by
+//! `hpc-diagnose --save-store <dir>` — and reopens it in milliseconds for
+//! every later `hpc-diagnose --from-store` / `hpc-query` run.
+//!
+//! # Layout
+//!
+//! A store directory holds one columnar segment file per populated
+//! [`EventClass`], a derived-state file, and a manifest:
+//!
+//! ```text
+//! store/
+//! ├── MANIFEST.json     schema version, fingerprint, segment catalogue
+//! ├── seg-mce.col       one segment per event class that has events
+//! ├── seg-job_start.col
+//! ├── ...
+//! └── derived.bin       detected failures, SWO windows, SWO failures
+//! ```
+//!
+//! Each segment holds only events of its class, so payloads are encoded
+//! tag-free (see [`codec`]). Within a segment the columns are: a sorted
+//! node-id dictionary, delta-encoded timestamps, strictly-increasing
+//! global positions (the event's index in the chronologically merged
+//! stream — preserving merge tie-order exactly), and the payload column.
+//! A fixed-size footer carries the segment's time range, row count and a
+//! FNV-1a 64 checksum of the body so truncation and bit-rot are detected
+//! before any row is trusted.
+//!
+//! Opening is two-phase, the way columnar databases split catalog open
+//! from segment scan: [`Store::open`] reads and validates every file —
+//! manifest, envelopes, checksums, footers — without decoding a row;
+//! [`Store::load`] is the scan that decodes rows and derived state.
+//! [`open_store`] composes both for callers that want everything.
+//!
+//! # Versioning
+//!
+//! `MANIFEST.json` carries `schema_version`; readers reject any version
+//! they don't know ([`OpenError::Version`]). The manifest `fingerprint`
+//! hashes the store's logical content (line/event counts, per-class
+//! counts, window) and is re-derived on open, so a manifest paired with
+//! the wrong segment files refuses to load. All decode paths return
+//! [`OpenError`] — a corrupted store must never panic the reader.
+
+pub mod codec;
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use hpc_logs::event::LogEvent;
+use hpc_logs::time::{SimDuration, SimTime};
+use hpc_platform::system::SchedulerKind;
+use hpc_platform::NodeId;
+use hpc_telemetry::json::{self, JsonValue};
+
+use crate::detection::DetectedFailure;
+use crate::store::EventClass;
+use crate::swo::SwoWindow;
+use codec::{put_varint, Dec};
+
+/// On-disk schema version; bump on any incompatible layout change.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Manifest file name inside a store directory.
+pub const MANIFEST_FILE: &str = "MANIFEST.json";
+
+/// Derived-state file name inside a store directory.
+pub const DERIVED_FILE: &str = "derived.bin";
+
+const SEG_MAGIC: &[u8; 8] = b"HPCSEG1\n";
+const DRV_MAGIC: &[u8; 8] = b"HPCDRV1\n";
+const FOOTER_MAGIC: &[u8; 8] = b"HSEGFTR1";
+const FOOTER_LEN: usize = 40;
+
+// --- checksums ----------------------------------------------------------
+
+/// FNV-1a 64-bit hash — the manifest fingerprint primitive. Stable and
+/// dependency-free; its byte-serial multiply chain is fine for the few
+/// dozen bytes of catalogue digest it hashes.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Segment body checksum: a multiply–rotate hash driven eight bytes per
+/// round, so `Store::open` verifies whole-store integrity at memory
+/// speed instead of FNV's one-multiply-per-byte. The length fold at the
+/// end catches truncations that land on an all-zero tail; this detects
+/// corruption, it is not cryptographic.
+pub fn hash64(bytes: &[u8]) -> u64 {
+    const M: u64 = 0x9e37_79b9_7f4a_7c15;
+    let mut h = 0x1b87_3593_cc9e_2d51u64 ^ (bytes.len() as u64).wrapping_mul(M);
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        let v = u64::from_le_bytes(c.try_into().unwrap());
+        h = (h ^ v).wrapping_mul(M).rotate_left(23);
+    }
+    let mut tail = [0u8; 8];
+    let rem = chunks.remainder();
+    tail[..rem.len()].copy_from_slice(rem);
+    h = (h ^ u64::from_le_bytes(tail)).wrapping_mul(M);
+    h ^ (h >> 29)
+}
+
+// --- errors -------------------------------------------------------------
+
+/// Why a store failed to open. Every variant renders as one line; the
+/// open path never panics on bad input.
+#[derive(Debug)]
+pub enum OpenError {
+    /// Filesystem error reading a store file.
+    Io(PathBuf, io::Error),
+    /// A file exists but its contents are invalid (bad magic, checksum
+    /// mismatch, truncation, undecodable rows, catalogue inconsistency).
+    Corrupt(PathBuf, String),
+    /// The manifest declares a schema version this reader doesn't know.
+    Version(u64),
+}
+
+impl fmt::Display for OpenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpenError::Io(path, e) => write!(f, "cannot read {}: {e}", path.display()),
+            OpenError::Corrupt(path, why) => {
+                write!(f, "corrupt segment store {}: {why}", path.display())
+            }
+            OpenError::Version(v) => write!(
+                f,
+                "unsupported segment store schema version {v} (reader supports {SCHEMA_VERSION})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for OpenError {}
+
+// --- manifest -----------------------------------------------------------
+
+/// Catalogue entry for one segment file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentMeta {
+    /// Event class stored in this segment.
+    pub class: EventClass,
+    /// File name relative to the store directory.
+    pub file: String,
+    /// Row count.
+    pub events: u64,
+    /// Earliest event time in the segment.
+    pub min_time: SimTime,
+    /// Latest event time in the segment.
+    pub max_time: SimTime,
+    /// File size in bytes as written.
+    pub bytes: u64,
+}
+
+/// The parsed `MANIFEST.json`: store-level identity plus the segment
+/// catalogue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// On-disk schema version ([`SCHEMA_VERSION`] when written here).
+    pub schema_version: u64,
+    /// Content fingerprint over counts and window; re-derived on open.
+    pub fingerprint: u64,
+    /// Scheduler of the source archive (drives `hpc-query tail` rendering).
+    pub scheduler: SchedulerKind,
+    /// Human-readable provenance (archive directory or `<stdin>`).
+    pub source: String,
+    /// Raw line count of the source archive.
+    pub total_lines: u64,
+    /// Lines no parser recognised.
+    pub skipped_lines: u64,
+    /// Total event count across all segments.
+    pub events: u64,
+    /// One entry per populated event class, in [`EventClass`] repr order.
+    pub segments: Vec<SegmentMeta>,
+}
+
+impl Manifest {
+    /// Logical-content fingerprint: hashes counts, the per-class
+    /// catalogue and the time window, so swapped or regenerated segment
+    /// files under an old manifest are caught on open.
+    fn derive_fingerprint(&self) -> u64 {
+        let mut buf = Vec::with_capacity(64 + self.segments.len() * 16);
+        put_varint(&mut buf, self.schema_version);
+        put_varint(&mut buf, self.total_lines);
+        put_varint(&mut buf, self.skipped_lines);
+        put_varint(&mut buf, self.events);
+        put_varint(&mut buf, self.segments.len() as u64);
+        for s in &self.segments {
+            buf.push(s.class as u8);
+            put_varint(&mut buf, s.events);
+            put_varint(&mut buf, s.min_time.as_millis());
+            put_varint(&mut buf, s.max_time.as_millis());
+        }
+        fnv1a64(&buf)
+    }
+
+    fn to_json(&self) -> JsonValue {
+        let n = |v: u64| JsonValue::Number(v as f64);
+        let segments = self
+            .segments
+            .iter()
+            .map(|s| {
+                JsonValue::Object(vec![
+                    (
+                        "class".to_string(),
+                        JsonValue::String(s.class.key().to_string()),
+                    ),
+                    ("file".to_string(), JsonValue::String(s.file.clone())),
+                    ("events".to_string(), n(s.events)),
+                    ("min_time_ms".to_string(), n(s.min_time.as_millis())),
+                    ("max_time_ms".to_string(), n(s.max_time.as_millis())),
+                    ("bytes".to_string(), n(s.bytes)),
+                ])
+            })
+            .collect();
+        JsonValue::Object(vec![
+            ("schema_version".to_string(), n(self.schema_version)),
+            // Full 64 bits do not fit losslessly in a JSON number.
+            (
+                "fingerprint".to_string(),
+                JsonValue::String(format!("{:016x}", self.fingerprint)),
+            ),
+            (
+                "scheduler".to_string(),
+                JsonValue::String(scheduler_key(self.scheduler).to_string()),
+            ),
+            ("source".to_string(), JsonValue::String(self.source.clone())),
+            ("total_lines".to_string(), n(self.total_lines)),
+            ("skipped_lines".to_string(), n(self.skipped_lines)),
+            ("events".to_string(), n(self.events)),
+            ("segments".to_string(), JsonValue::Array(segments)),
+        ])
+    }
+
+    fn from_json(v: &JsonValue, path: &Path) -> Result<Manifest, OpenError> {
+        let corrupt = |why: &str| OpenError::Corrupt(path.to_path_buf(), why.to_string());
+        let num = |key: &str| -> Result<u64, OpenError> {
+            v.get(key)
+                .and_then(JsonValue::as_number)
+                .map(|n| n as u64)
+                .ok_or_else(|| corrupt(&format!("manifest missing numeric field `{key}`")))
+        };
+        let text = |key: &str| -> Result<String, OpenError> {
+            v.get(key)
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| corrupt(&format!("manifest missing string field `{key}`")))
+        };
+        let schema_version = num("schema_version")?;
+        if schema_version != SCHEMA_VERSION {
+            return Err(OpenError::Version(schema_version));
+        }
+        let fingerprint = u64::from_str_radix(&text("fingerprint")?, 16)
+            .map_err(|_| corrupt("manifest fingerprint is not a hex number"))?;
+        let scheduler = parse_scheduler_key(&text("scheduler")?)
+            .ok_or_else(|| corrupt("manifest scheduler is not `slurm` or `torque`"))?;
+        let segments_json = v
+            .get("segments")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| corrupt("manifest missing `segments` array"))?;
+        let mut segments = Vec::with_capacity(segments_json.len());
+        for s in segments_json {
+            let class_key = s
+                .get("class")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| corrupt("segment entry missing `class`"))?;
+            let class = EventClass::from_key(class_key).ok_or_else(|| {
+                corrupt(&format!("segment entry names unknown class `{class_key}`"))
+            })?;
+            let seg_num = |key: &str| -> Result<u64, OpenError> {
+                s.get(key)
+                    .and_then(JsonValue::as_number)
+                    .map(|n| n as u64)
+                    .ok_or_else(|| corrupt(&format!("segment entry missing `{key}`")))
+            };
+            let file = s
+                .get("file")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| corrupt("segment entry missing `file`"))?;
+            if file.contains('/') || file.contains('\\') || file.contains("..") {
+                return Err(corrupt(&format!(
+                    "segment file name `{file}` escapes the store"
+                )));
+            }
+            segments.push(SegmentMeta {
+                class,
+                file: file.to_string(),
+                events: seg_num("events")?,
+                min_time: SimTime::from_millis(seg_num("min_time_ms")?),
+                max_time: SimTime::from_millis(seg_num("max_time_ms")?),
+                bytes: seg_num("bytes")?,
+            });
+        }
+        Ok(Manifest {
+            schema_version,
+            fingerprint,
+            scheduler,
+            source: text("source")?,
+            total_lines: num("total_lines")?,
+            skipped_lines: num("skipped_lines")?,
+            events: num("events")?,
+            segments,
+        })
+    }
+}
+
+fn scheduler_key(s: SchedulerKind) -> &'static str {
+    match s {
+        SchedulerKind::Slurm => "slurm",
+        SchedulerKind::Torque => "torque",
+    }
+}
+
+fn parse_scheduler_key(s: &str) -> Option<SchedulerKind> {
+    match s {
+        "slurm" => Some(SchedulerKind::Slurm),
+        "torque" => Some(SchedulerKind::Torque),
+        _ => None,
+    }
+}
+
+// --- store contents -----------------------------------------------------
+
+/// Everything a store persists, borrowed from a finished diagnosis.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreContents<'a> {
+    /// Chronologically merged events (index = global position).
+    pub events: &'a [LogEvent],
+    /// Detected node failures after SWO exclusion.
+    pub failures: &'a [DetectedFailure],
+    /// Recognised system-wide outages.
+    pub swos: &'a [SwoWindow],
+    /// Failures attributed to SWOs.
+    pub swo_failures: &'a [DetectedFailure],
+    /// Lines no parser recognised.
+    pub skipped_lines: u64,
+    /// Raw line count of the source archive.
+    pub total_lines: u64,
+    /// Scheduler of the source archive.
+    pub scheduler: SchedulerKind,
+    /// Human-readable provenance string.
+    pub source: &'a str,
+}
+
+/// A fully validated, decoded store — the persisted twin of the
+/// in-memory pipeline output.
+#[derive(Debug, Clone)]
+pub struct OpenedStore {
+    /// Chronologically merged events, exactly as written.
+    pub events: Vec<LogEvent>,
+    /// Detected node failures after SWO exclusion.
+    pub failures: Vec<DetectedFailure>,
+    /// Recognised system-wide outages.
+    pub swos: Vec<SwoWindow>,
+    /// Failures attributed to SWOs.
+    pub swo_failures: Vec<DetectedFailure>,
+    /// The validated manifest (counts, scheduler, provenance).
+    pub manifest: Manifest,
+}
+
+// --- segment write ------------------------------------------------------
+
+fn footer(min_time: u64, max_time: u64, count: u64, checksum: u64) -> [u8; FOOTER_LEN] {
+    let mut f = [0u8; FOOTER_LEN];
+    f[0..8].copy_from_slice(&min_time.to_le_bytes());
+    f[8..16].copy_from_slice(&max_time.to_le_bytes());
+    f[16..24].copy_from_slice(&count.to_le_bytes());
+    f[24..32].copy_from_slice(&checksum.to_le_bytes());
+    f[32..40].copy_from_slice(FOOTER_MAGIC);
+    f
+}
+
+/// Encodes one class's rows as a complete segment file image.
+fn encode_segment(class: EventClass, rows: &[(u32, &LogEvent)]) -> Vec<u8> {
+    // Pass 1: collect every referenced node id into a sorted dictionary.
+    let mut dict: Vec<NodeId> = Vec::new();
+    {
+        let mut scratch = Vec::new();
+        for (_, e) in rows {
+            codec::encode_payload(
+                &e.payload,
+                &mut |n| {
+                    dict.push(n);
+                    0
+                },
+                &mut scratch,
+            );
+            scratch.clear();
+        }
+    }
+    dict.sort_unstable();
+    dict.dedup();
+
+    let mut body = Vec::new();
+    // Dictionary column: sorted unique node ids, delta-encoded.
+    put_varint(&mut body, dict.len() as u64);
+    let mut prev = 0u64;
+    for n in &dict {
+        put_varint(&mut body, n.0 as u64 - prev);
+        prev = n.0 as u64;
+    }
+    // Time column: first absolute, then deltas (rows are chronological).
+    put_varint(&mut body, rows.len() as u64);
+    let mut prev_t = SimTime::EPOCH;
+    for (i, (_, e)) in rows.iter().enumerate() {
+        if i == 0 {
+            put_varint(&mut body, e.time.as_millis());
+        } else {
+            put_varint(&mut body, e.time.since(prev_t).as_millis());
+        }
+        prev_t = e.time;
+    }
+    // Position column: strictly increasing global positions, delta-encoded.
+    let mut prev_p = 0u64;
+    for (i, (pos, _)) in rows.iter().enumerate() {
+        if i == 0 {
+            put_varint(&mut body, *pos as u64);
+        } else {
+            put_varint(&mut body, *pos as u64 - prev_p);
+        }
+        prev_p = *pos as u64;
+    }
+    // Payload column: tag-free, nodes as dictionary indexes.
+    for (_, e) in rows {
+        codec::encode_payload(
+            &e.payload,
+            &mut |n| dict.binary_search(&n).expect("pass-1 collected every node") as u64,
+            &mut body,
+        );
+    }
+
+    let min_time = rows.first().map(|(_, e)| e.time.as_millis()).unwrap_or(0);
+    let max_time = rows.last().map(|(_, e)| e.time.as_millis()).unwrap_or(0);
+    let checksum = hash64(&body);
+
+    let mut file = Vec::with_capacity(SEG_MAGIC.len() + 1 + body.len() + FOOTER_LEN);
+    file.extend_from_slice(SEG_MAGIC);
+    file.push(class as u8);
+    file.extend_from_slice(&body);
+    file.extend_from_slice(&footer(min_time, max_time, rows.len() as u64, checksum));
+    file
+}
+
+fn encode_derived(c: &StoreContents<'_>) -> Vec<u8> {
+    let mut body = Vec::new();
+    codec::encode_failures(c.failures, &mut body);
+    codec::encode_swos(c.swos, &mut body);
+    codec::encode_failures(c.swo_failures, &mut body);
+    let count = (c.failures.len() + c.swo_failures.len()) as u64;
+    let checksum = hash64(&body);
+    let mut file = Vec::with_capacity(DRV_MAGIC.len() + body.len() + FOOTER_LEN);
+    file.extend_from_slice(DRV_MAGIC);
+    file.extend_from_slice(&body);
+    file.extend_from_slice(&footer(0, 0, count, checksum));
+    file
+}
+
+/// Writes a complete store into `dir` (created if absent), replacing any
+/// previous contents file-by-file. Returns the manifest as written.
+pub fn write_store(dir: &Path, contents: &StoreContents<'_>) -> io::Result<Manifest> {
+    let _span = hpc_telemetry::span!("core.segstore.write");
+    fs::create_dir_all(dir)?;
+
+    // Bucket events by class, keeping global positions for exact replay.
+    let mut by_class: Vec<Vec<(u32, &LogEvent)>> = vec![Vec::new(); EventClass::COUNT];
+    for (pos, e) in contents.events.iter().enumerate() {
+        by_class[EventClass::of(&e.payload) as usize].push((pos as u32, e));
+    }
+
+    let mut bytes_written = 0u64;
+    let mut segments = Vec::new();
+    for class in EventClass::ALL {
+        let rows = &by_class[class as usize];
+        if rows.is_empty() {
+            continue;
+        }
+        let image = encode_segment(class, rows);
+        let file = format!("seg-{}.col", class.key());
+        write_atomic(&dir.join(&file), &image)?;
+        bytes_written += image.len() as u64;
+        segments.push(SegmentMeta {
+            class,
+            file,
+            events: rows.len() as u64,
+            min_time: rows.first().map(|(_, e)| e.time).unwrap_or(SimTime::EPOCH),
+            max_time: rows.last().map(|(_, e)| e.time).unwrap_or(SimTime::EPOCH),
+            bytes: image.len() as u64,
+        });
+    }
+
+    let derived = encode_derived(contents);
+    write_atomic(&dir.join(DERIVED_FILE), &derived)?;
+    bytes_written += derived.len() as u64;
+
+    let mut manifest = Manifest {
+        schema_version: SCHEMA_VERSION,
+        fingerprint: 0,
+        scheduler: contents.scheduler,
+        source: contents.source.to_string(),
+        total_lines: contents.total_lines,
+        skipped_lines: contents.skipped_lines,
+        events: contents.events.len() as u64,
+        segments,
+    };
+    manifest.fingerprint = manifest.derive_fingerprint();
+    let manifest_text = manifest.to_json().pretty();
+    write_atomic(&dir.join(MANIFEST_FILE), manifest_text.as_bytes())?;
+    bytes_written += manifest_text.len() as u64;
+
+    hpc_telemetry::counter("core.segstore.bytes.written").add(bytes_written);
+    hpc_telemetry::counter("core.segstore.segments.written").add(manifest.segments.len() as u64);
+    hpc_telemetry::counter("core.segstore.events.written").add(manifest.events);
+    Ok(manifest)
+}
+
+/// Write-to-temp-then-rename so a crash mid-write never leaves a
+/// half-written file under its final name (the footer checksum catches
+/// the rename-less leftovers).
+fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)
+}
+
+// --- segment read -------------------------------------------------------
+
+struct SegmentFooter {
+    count: u64,
+    min_time: u64,
+    max_time: u64,
+}
+
+/// Verifies a segment/derived file envelope — magic, footer magic and
+/// body checksum — and returns the parsed footer. `class_byte` is
+/// `Some(expected_repr)` for event segments, `None` for the derived file.
+fn check_envelope(
+    path: &Path,
+    image: &[u8],
+    magic: &[u8; 8],
+    class_byte: Option<u8>,
+) -> Result<SegmentFooter, OpenError> {
+    let corrupt = |why: String| OpenError::Corrupt(path.to_path_buf(), why);
+    let header_len = magic.len() + class_byte.map(|_| 1).unwrap_or(0);
+    if image.len() < header_len + FOOTER_LEN {
+        return Err(corrupt(format!(
+            "file is {} bytes, shorter than header + footer",
+            image.len()
+        )));
+    }
+    if &image[..magic.len()] != magic {
+        return Err(corrupt("bad magic".to_string()));
+    }
+    if let Some(expected) = class_byte {
+        let got = image[magic.len()];
+        if got != expected {
+            return Err(corrupt(format!(
+                "segment class byte {got} does not match manifest class {expected}"
+            )));
+        }
+    }
+    let footer = &image[image.len() - FOOTER_LEN..];
+    if &footer[32..40] != FOOTER_MAGIC {
+        return Err(corrupt("bad footer magic (truncated file?)".to_string()));
+    }
+    let body = &image[header_len..image.len() - FOOTER_LEN];
+    let checksum = u64::from_le_bytes(footer[24..32].try_into().unwrap());
+    let actual = hash64(body);
+    if actual != checksum {
+        return Err(corrupt(format!(
+            "body checksum {actual:016x} does not match footer {checksum:016x}"
+        )));
+    }
+    Ok(SegmentFooter {
+        count: u64::from_le_bytes(footer[16..24].try_into().unwrap()),
+        min_time: u64::from_le_bytes(footer[0..8].try_into().unwrap()),
+        max_time: u64::from_le_bytes(footer[8..16].try_into().unwrap()),
+    })
+}
+
+/// Decodes one validated segment body, placing each event directly into
+/// its global position slot (no intermediate row buffer — each event is
+/// constructed exactly once, in its final resting place).
+fn decode_segment_into(
+    path: &Path,
+    meta: &SegmentMeta,
+    body: &[u8],
+    slots: &mut [Option<LogEvent>],
+) -> Result<(), OpenError> {
+    let corrupt = |why: String| OpenError::Corrupt(path.to_path_buf(), why);
+    let mut dec = Dec::new(body);
+    let fail = |e: String| corrupt(e);
+
+    // Dictionary column.
+    let dict_len = dec.varint().map_err(fail)? as usize;
+    if dict_len > body.len() {
+        return Err(corrupt(format!(
+            "dictionary length {dict_len} exceeds body"
+        )));
+    }
+    let mut dict = Vec::with_capacity(dict_len);
+    let mut prev = 0u64;
+    for i in 0..dict_len {
+        let delta = dec.varint().map_err(fail)?;
+        if i > 0 && delta == 0 {
+            return Err(corrupt("dictionary is not strictly increasing".to_string()));
+        }
+        prev += delta;
+        let id = u32::try_from(prev)
+            .map_err(|_| corrupt("dictionary node id exceeds u32".to_string()))?;
+        dict.push(NodeId(id));
+    }
+
+    // Time column.
+    let count = dec.varint().map_err(fail)? as usize;
+    if count as u64 != meta.events {
+        return Err(corrupt(format!(
+            "body row count {count} does not match footer {}",
+            meta.events
+        )));
+    }
+    if count > body.len() {
+        return Err(corrupt(format!("row count {count} exceeds body")));
+    }
+    let mut times = Vec::with_capacity(count);
+    let mut t = SimTime::EPOCH;
+    for i in 0..count {
+        let v = dec.varint().map_err(fail)?;
+        t = if i == 0 {
+            SimTime::from_millis(v)
+        } else {
+            t + SimDuration::from_millis(v)
+        };
+        times.push(t);
+    }
+    if let (Some(first), Some(last)) = (times.first(), times.last()) {
+        if *first != meta.min_time || *last != meta.max_time {
+            return Err(corrupt(
+                "time column does not match footer time range".to_string(),
+            ));
+        }
+    }
+
+    // Position column.
+    let mut positions = Vec::with_capacity(count);
+    let mut p = 0u64;
+    for i in 0..count {
+        let v = dec.varint().map_err(fail)?;
+        if i == 0 {
+            p = v;
+        } else {
+            if v == 0 {
+                return Err(corrupt("positions are not strictly increasing".to_string()));
+            }
+            p += v;
+        }
+        let pos =
+            u32::try_from(p).map_err(|_| corrupt("event position exceeds u32".to_string()))?;
+        positions.push(pos);
+    }
+
+    // Payload column, decoded straight into the global event order.
+    for i in 0..count {
+        let payload = codec::decode_payload(meta.class, &mut dec, &dict)
+            .map_err(|e| corrupt(format!("row {i}: {e}")))?;
+        let pos = positions[i];
+        let total = slots.len();
+        let slot = slots.get_mut(pos as usize).ok_or_else(|| {
+            corrupt(format!(
+                "event position {pos} out of range ({total} events)"
+            ))
+        })?;
+        if slot
+            .replace(LogEvent {
+                time: times[i],
+                payload,
+            })
+            .is_some()
+        {
+            return Err(corrupt(format!("event position {pos} occupied twice")));
+        }
+    }
+    if dec.remaining() != 0 {
+        return Err(corrupt(format!(
+            "{} trailing bytes after last row",
+            dec.remaining()
+        )));
+    }
+    Ok(())
+}
+
+/// A validated-but-undecoded store handle.
+///
+/// [`Store::open`] is the catalogue-and-checksum pass: it reads every
+/// file and proves the store intact — manifest schema, fingerprint and
+/// catalogue consistency, every segment's magic/class byte/footer, every
+/// body checksum, footers cross-checked against the manifest — without
+/// decoding a single row. That is the contract behind "reopened in
+/// milliseconds": corruption anywhere is detected up front, row decode is
+/// deferred to [`Store::load`] (the scan phase), exactly as columnar
+/// databases separate catalog open from segment scan.
+#[derive(Debug)]
+pub struct Store {
+    manifest: Manifest,
+    /// Raw validated file images, aligned with `manifest.segments`.
+    segments: Vec<(PathBuf, Vec<u8>)>,
+    derived_path: PathBuf,
+    derived: Vec<u8>,
+}
+
+impl Store {
+    /// Opens and validates every file of the store in `dir` without
+    /// decoding rows. Never panics on malformed input.
+    pub fn open(dir: &Path) -> Result<Store, OpenError> {
+        let _span = hpc_telemetry::span!("core.segstore.open");
+
+        let manifest_path = dir.join(MANIFEST_FILE);
+        let manifest_text = fs::read_to_string(&manifest_path)
+            .map_err(|e| OpenError::Io(manifest_path.clone(), e))?;
+        let manifest_json = json::parse(&manifest_text).map_err(|e| {
+            OpenError::Corrupt(manifest_path.clone(), format!("manifest is not JSON: {e}"))
+        })?;
+        let manifest = Manifest::from_json(&manifest_json, &manifest_path)?;
+        if manifest.fingerprint != manifest.derive_fingerprint() {
+            return Err(OpenError::Corrupt(
+                manifest_path.clone(),
+                "manifest fingerprint does not match its contents".to_string(),
+            ));
+        }
+        let segment_events: u64 = manifest.segments.iter().map(|s| s.events).sum();
+        if segment_events != manifest.events {
+            return Err(OpenError::Corrupt(
+                manifest_path.clone(),
+                format!(
+                    "segment catalogue sums to {segment_events} events, manifest says {}",
+                    manifest.events
+                ),
+            ));
+        }
+        {
+            let mut seen = [false; EventClass::COUNT];
+            for s in &manifest.segments {
+                if std::mem::replace(&mut seen[s.class as usize], true) {
+                    return Err(OpenError::Corrupt(
+                        manifest_path.clone(),
+                        format!("duplicate segment entry for class {}", s.class.key()),
+                    ));
+                }
+            }
+        }
+
+        let mut bytes_read = 0u64;
+        let mut segments = Vec::with_capacity(manifest.segments.len());
+        for meta in &manifest.segments {
+            let path = dir.join(&meta.file);
+            let image = read_file(&path)?;
+            bytes_read += image.len() as u64;
+            let seg = check_envelope(&path, &image, SEG_MAGIC, Some(meta.class as u8))?;
+            if seg.count != meta.events {
+                return Err(OpenError::Corrupt(
+                    path,
+                    format!(
+                        "footer row count {} does not match manifest {}",
+                        seg.count, meta.events
+                    ),
+                ));
+            }
+            if seg.min_time != meta.min_time.as_millis()
+                || seg.max_time != meta.max_time.as_millis()
+            {
+                return Err(OpenError::Corrupt(
+                    path,
+                    "footer time range does not match manifest".to_string(),
+                ));
+            }
+            segments.push((path, image));
+        }
+
+        let derived_path = dir.join(DERIVED_FILE);
+        let derived = read_file(&derived_path)?;
+        bytes_read += derived.len() as u64;
+        check_envelope(&derived_path, &derived, DRV_MAGIC, None)?;
+
+        hpc_telemetry::counter("core.segstore.bytes.read").add(bytes_read);
+        hpc_telemetry::counter("core.segstore.segments.read").add(manifest.segments.len() as u64);
+
+        Ok(Store {
+            manifest,
+            segments,
+            derived_path,
+            derived,
+        })
+    }
+
+    /// The validated manifest.
+    pub fn manifest(&self) -> &Manifest {
+        &self.manifest
+    }
+
+    /// Decodes every row and the derived state — the scan phase. Checks
+    /// dense position coverage `0..events` and in-body row counts; the
+    /// envelopes were already proven by [`Store::open`].
+    pub fn load(self) -> Result<OpenedStore, OpenError> {
+        let _span = hpc_telemetry::span!("core.segstore.load");
+        let manifest = self.manifest;
+        let total = manifest.events as usize;
+
+        let mut slots: Vec<Option<LogEvent>> = vec![None; total];
+        for (meta, (path, image)) in manifest.segments.iter().zip(&self.segments) {
+            let body = &image[SEG_MAGIC.len() + 1..image.len() - FOOTER_LEN];
+            decode_segment_into(path, meta, body, &mut slots)?;
+        }
+        let mut events = Vec::with_capacity(total);
+        for (pos, slot) in slots.into_iter().enumerate() {
+            events.push(slot.ok_or_else(|| {
+                OpenError::Corrupt(
+                    self.derived_path.with_file_name(MANIFEST_FILE),
+                    format!("no segment covers event position {pos}"),
+                )
+            })?);
+        }
+
+        let body = &self.derived[DRV_MAGIC.len()..self.derived.len() - FOOTER_LEN];
+        let footer = &self.derived[self.derived.len() - FOOTER_LEN..];
+        let drv_count = u64::from_le_bytes(footer[16..24].try_into().unwrap());
+        let mut dec = Dec::new(body);
+        let dfail = |e: String| OpenError::Corrupt(self.derived_path.clone(), e);
+        let failures = codec::decode_failures(&mut dec).map_err(dfail)?;
+        let swos = codec::decode_swos(&mut dec).map_err(dfail)?;
+        let swo_failures = codec::decode_failures(&mut dec).map_err(dfail)?;
+        if dec.remaining() != 0 {
+            return Err(dfail(format!(
+                "{} trailing bytes in derived file",
+                dec.remaining()
+            )));
+        }
+        if drv_count != (failures.len() + swo_failures.len()) as u64 {
+            return Err(dfail(
+                "derived footer count does not match decoded failures".to_string(),
+            ));
+        }
+
+        hpc_telemetry::counter("core.segstore.events.read").add(manifest.events);
+        hpc_telemetry::gauge("core.segstore.events").set(manifest.events as f64);
+
+        Ok(OpenedStore {
+            events,
+            failures,
+            swos,
+            swo_failures,
+            manifest,
+        })
+    }
+}
+
+/// Opens, fully validates and decodes the store in `dir` in one step:
+/// [`Store::open`] followed by [`Store::load`].
+pub fn open_store(dir: &Path) -> Result<OpenedStore, OpenError> {
+    Store::open(dir)?.load()
+}
+
+fn read_file(path: &Path) -> Result<Vec<u8>, OpenError> {
+    fs::read(path).map_err(|e| OpenError::Io(path.to_path_buf(), e))
+}
+
+/// Per-class event counts of an event stream — used by tests and the
+/// manifest round-trip check.
+pub fn class_counts(events: &[LogEvent]) -> HashMap<EventClass, u64> {
+    let mut counts = HashMap::new();
+    for e in events {
+        *counts.entry(EventClass::of(&e.payload)).or_insert(0) += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detection::TerminalKind;
+    use hpc_logs::event::PanicReason;
+
+    fn contents<'a>(events: &'a [LogEvent], failures: &'a [DetectedFailure]) -> StoreContents<'a> {
+        StoreContents {
+            events,
+            failures,
+            swos: &[],
+            swo_failures: &[],
+            skipped_lines: 3,
+            total_lines: 100,
+            scheduler: SchedulerKind::Slurm,
+            source: "testdata",
+        }
+    }
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("hpc-segment-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn write_then_open_round_trips_everything() {
+        let events = codec::one_of_every_class();
+        let failures = vec![DetectedFailure {
+            node: NodeId(5),
+            time: SimTime::from_millis(4_000),
+            terminal: TerminalKind::Panic(PanicReason::FatalMce),
+        }];
+        let dir = tmpdir("roundtrip");
+        let manifest = write_store(&dir, &contents(&events, &failures)).unwrap();
+        assert_eq!(manifest.events, events.len() as u64);
+        assert_eq!(manifest.segments.len(), EventClass::COUNT);
+
+        let opened = open_store(&dir).unwrap();
+        assert_eq!(opened.events, events);
+        assert_eq!(opened.failures, failures);
+        assert!(opened.swos.is_empty());
+        assert_eq!(opened.manifest, manifest);
+        assert_eq!(opened.manifest.skipped_lines, 3);
+        assert_eq!(opened.manifest.total_lines, 100);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_store_round_trips() {
+        let dir = tmpdir("empty");
+        let manifest = write_store(&dir, &contents(&[], &[])).unwrap();
+        assert_eq!(manifest.events, 0);
+        assert!(manifest.segments.is_empty());
+        let opened = open_store(&dir).unwrap();
+        assert!(opened.events.is_empty());
+        assert!(opened.failures.is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_in_segment_body_is_detected() {
+        let events = codec::one_of_every_class();
+        let dir = tmpdir("bitflip");
+        let manifest = write_store(&dir, &contents(&events, &[])).unwrap();
+        let victim = dir.join(&manifest.segments[0].file);
+        let mut image = fs::read(&victim).unwrap();
+        // First body byte: right after the 8-byte magic + class byte, well
+        // clear of the footer, so the flip must trip the checksum.
+        image[SEG_MAGIC.len() + 1] ^= 0x40;
+        fs::write(&victim, &image).unwrap();
+        match open_store(&dir) {
+            Err(OpenError::Corrupt(_, why)) => assert!(why.contains("checksum"), "{why}"),
+            other => panic!("expected checksum corruption, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_segment_is_detected() {
+        let events = codec::one_of_every_class();
+        let dir = tmpdir("truncate");
+        let manifest = write_store(&dir, &contents(&events, &[])).unwrap();
+        let victim = dir.join(&manifest.segments[3].file);
+        let image = fs::read(&victim).unwrap();
+        fs::write(&victim, &image[..image.len() - 17]).unwrap();
+        assert!(matches!(open_store(&dir), Err(OpenError::Corrupt(..))));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_segment_file_is_io_error() {
+        let events = codec::one_of_every_class();
+        let dir = tmpdir("missing");
+        let manifest = write_store(&dir, &contents(&events, &[])).unwrap();
+        fs::remove_file(dir.join(&manifest.segments[1].file)).unwrap();
+        assert!(matches!(open_store(&dir), Err(OpenError::Io(..))));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn foreign_schema_version_is_rejected() {
+        let events = codec::one_of_every_class();
+        let dir = tmpdir("version");
+        write_store(&dir, &contents(&events, &[])).unwrap();
+        let path = dir.join(MANIFEST_FILE);
+        let text = fs::read_to_string(&path)
+            .unwrap()
+            .replace("\"schema_version\": 1", "\"schema_version\": 99");
+        fs::write(&path, text).unwrap();
+        assert!(matches!(open_store(&dir), Err(OpenError::Version(99))));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_manifest_fingerprint_is_rejected() {
+        let events = codec::one_of_every_class();
+        let dir = tmpdir("fingerprint");
+        write_store(&dir, &contents(&events, &[])).unwrap();
+        let path = dir.join(MANIFEST_FILE);
+        let text = fs::read_to_string(&path)
+            .unwrap()
+            .replace("\"total_lines\": 100", "\"total_lines\": 101");
+        fs::write(&path, text).unwrap();
+        match open_store(&dir) {
+            Err(OpenError::Corrupt(_, why)) => assert!(why.contains("fingerprint"), "{why}"),
+            other => panic!("expected fingerprint mismatch, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

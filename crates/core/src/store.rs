@@ -272,6 +272,68 @@ impl EventClass {
         EventClass::HwError,
     ];
 
+    /// Stable snake_case identifier of this class — the vocabulary shared
+    /// by segment file names, the store manifest and the `hpc-query
+    /// --class` filter. Round-trips through [`EventClass::from_key`].
+    pub fn key(self) -> &'static str {
+        match self {
+            EventClass::Mce => "mce",
+            EventClass::MemoryError => "memory_error",
+            EventClass::SegFault => "seg_fault",
+            EventClass::OomKill => "oom_kill",
+            EventClass::KernelOops => "kernel_oops",
+            EventClass::KernelPanic => "kernel_panic",
+            EventClass::LustreError => "lustre_error",
+            EventClass::HungTaskTimeout => "hung_task_timeout",
+            EventClass::CpuStall => "cpu_stall",
+            EventClass::PageAllocFailure => "page_alloc_failure",
+            EventClass::GpuError => "gpu_error",
+            EventClass::DiskError => "disk_error",
+            EventClass::BiosError => "bios_error",
+            EventClass::NhcWarning => "nhc_warning",
+            EventClass::UnexpectedShutdown => "unexpected_shutdown",
+            EventClass::GracefulShutdown => "graceful_shutdown",
+            EventClass::NodeHeartbeatFault => "node_heartbeat_fault",
+            EventClass::NodeVoltageFault => "node_voltage_fault",
+            EventClass::BcHeartbeatFault => "bc_heartbeat_fault",
+            EventClass::EcbFault => "ecb_fault",
+            EventClass::SensorReadFailed => "sensor_read_failed",
+            EventClass::CabinetPowerFault => "cabinet_power_fault",
+            EventClass::MicroControllerFault => "micro_controller_fault",
+            EventClass::CommunicationFault => "communication_fault",
+            EventClass::ModuleHealthFault => "module_health_fault",
+            EventClass::RpmFault => "rpm_fault",
+            EventClass::L0SysdMce => "l0_sysd_mce",
+            EventClass::NodePowerOff => "node_power_off",
+            EventClass::SedcWarning => "sedc_warning",
+            EventClass::SedcReading => "sedc_reading",
+            EventClass::HwError => "hw_error",
+            EventClass::HeartbeatStop => "heartbeat_stop",
+            EventClass::L0Failed => "l0_failed",
+            EventClass::LinkError => "link_error",
+            EventClass::Environment => "environment",
+            EventClass::CabinetSensorCheck => "cabinet_sensor_check",
+            EventClass::NodeFailed => "node_failed",
+            EventClass::JobStart => "job_start",
+            EventClass::JobEnd => "job_end",
+            EventClass::NhcResult => "nhc_result",
+            EventClass::NodeStateChange => "node_state_change",
+            EventClass::EpilogueCleanup => "epilogue_cleanup",
+            EventClass::MemOverallocation => "mem_overallocation",
+        }
+    }
+
+    /// Parses a [`EventClass::key`] identifier.
+    pub fn from_key(s: &str) -> Option<EventClass> {
+        EventClass::ALL.into_iter().find(|c| c.key() == s)
+    }
+
+    /// The class with `repr` discriminant `b` (the byte stored in segment
+    /// file headers).
+    pub fn from_repr(b: u8) -> Option<EventClass> {
+        EventClass::ALL.get(b as usize).copied()
+    }
+
     /// The class of an event payload (total: every payload has one).
     pub fn of(payload: &Payload) -> EventClass {
         match payload {
@@ -689,6 +751,34 @@ impl EventStore {
         positions.sort_unstable();
         self.account(positions.len());
         positions.into_iter().map(move |i| &self.events[i as usize])
+    }
+
+    /// All events of any of `classes` within `[from, to)`, merged back
+    /// into chronological order (same position-sort trick as
+    /// [`EventStore::classes_events`]).
+    pub fn classes_events_between(
+        &self,
+        classes: &[EventClass],
+        from: SimTime,
+        to: SimTime,
+    ) -> impl Iterator<Item = &LogEvent> {
+        let mut positions: Vec<u32> = classes
+            .iter()
+            .flat_map(|&c| self.by_class[c as usize].range(from, to).copied())
+            .collect();
+        positions.sort_unstable();
+        self.account(positions.len());
+        positions.into_iter().map(move |i| &self.events[i as usize])
+    }
+
+    /// The contiguous slice of all events within `[from, to)`, by binary
+    /// search on the globally time-sorted event sequence.
+    pub fn events_between(&self, from: SimTime, to: SimTime) -> &[LogEvent] {
+        let lo = self.events.partition_point(|e| e.time < from);
+        let hi = self.events.partition_point(|e| e.time < to);
+        let hi = hi.max(lo);
+        self.account(hi - lo);
+        &self.events[lo..hi]
     }
 
     /// All events whose subject is `node`, chronological.

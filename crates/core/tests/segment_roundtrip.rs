@@ -1,0 +1,315 @@
+//! Segment-store round-trip: persisting a diagnosis with
+//! [`hpc_diagnosis::segment::write_store`] and reopening it must reproduce
+//! the in-memory state *exactly* — every event in order, every derived
+//! failure and SWO window, and every rehosted query — for arbitrary event
+//! soups including the empty archive and a single event. A second property
+//! attacks the open path: flipping or truncating arbitrary bytes anywhere
+//! in the store must yield a clean `OpenError`, never a panic and never a
+//! silently different diagnosis.
+
+use std::path::PathBuf;
+
+use proptest::prelude::*;
+
+use hpc_diagnosis::query::{self, HistKey, QueryFilter};
+use hpc_diagnosis::segment::{self, StoreContents};
+use hpc_diagnosis::{Diagnosis, DiagnosisConfig, EventStore};
+use hpc_logs::event::{
+    Apid, AppKind, ConsoleDetail, ControllerDetail, ControllerScope, JobEndReason, JobId, LogEvent,
+    PanicReason, Payload, SchedulerDetail,
+};
+use hpc_logs::time::SimTime;
+use hpc_platform::system::SchedulerKind;
+use hpc_platform::NodeId;
+
+/// A sorted event soup spanning failure terminals, blade-scoped external
+/// faults, internal symptoms and job lifecycle records — enough variety
+/// to populate several segment classes and the derived failure/SWO state.
+fn event_soup() -> impl Strategy<Value = Vec<LogEvent>> {
+    prop::collection::vec(
+        (
+            0u64..200_000_000u64,
+            0u32..64,
+            prop::sample::select(vec![0u8, 1, 2, 3, 4, 5, 6, 7]),
+        ),
+        0..120,
+    )
+    .prop_map(|mut raw| {
+        raw.sort();
+        raw.into_iter()
+            .map(|(ms, node_raw, kind)| {
+                let node = NodeId(node_raw);
+                let job = JobId(u64::from(node_raw % 8));
+                let payload = match kind {
+                    0 => Payload::Console {
+                        node,
+                        detail: ConsoleDetail::KernelPanic {
+                            reason: PanicReason::KernelBug,
+                        },
+                    },
+                    1 => Payload::Controller {
+                        scope: ControllerScope::Blade(node.blade()),
+                        detail: ControllerDetail::NodeVoltageFault { node },
+                    },
+                    2 => Payload::Controller {
+                        scope: ControllerScope::Blade(node.blade()),
+                        detail: ControllerDetail::NodeHeartbeatFault { node },
+                    },
+                    3 => Payload::Console {
+                        node,
+                        detail: ConsoleDetail::CpuStall { cpu: 0 },
+                    },
+                    4 => Payload::Console {
+                        node,
+                        detail: ConsoleDetail::OomKill {
+                            victim: AppKind::Python,
+                            pid: 4242,
+                        },
+                    },
+                    5 => Payload::Scheduler {
+                        detail: SchedulerDetail::JobStart {
+                            job,
+                            apid: Apid(job.0 + 1),
+                            user: 1000 + job.0 as u32,
+                            app: AppKind::MpiSimulation,
+                            nodes: vec![node, NodeId((node_raw + 1) % 64)],
+                            mem_per_node_mib: 65536,
+                        },
+                    },
+                    6 => Payload::Scheduler {
+                        detail: SchedulerDetail::JobEnd {
+                            job,
+                            exit_code: 0,
+                            reason: JobEndReason::Completed,
+                        },
+                    },
+                    7 => Payload::Scheduler {
+                        detail: SchedulerDetail::MemOverallocation {
+                            job,
+                            node,
+                            requested_mib: 131072,
+                            available_mib: 65536,
+                        },
+                    },
+                    _ => unreachable!(),
+                };
+                LogEvent {
+                    time: SimTime::from_millis(ms),
+                    payload,
+                }
+            })
+            .collect()
+    })
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    std::env::temp_dir().join(format!("hpc-segrt-{tag}-{}-{n}", std::process::id()))
+}
+
+fn save(d: &Diagnosis, dir: &std::path::Path) {
+    segment::write_store(
+        dir,
+        &StoreContents {
+            events: d.events(),
+            failures: &d.failures,
+            swos: &d.swos,
+            swo_failures: &d.swo_failures,
+            skipped_lines: d.skipped_lines,
+            total_lines: d.events().len() as u64,
+            scheduler: SchedulerKind::Slurm,
+            source: "proptest",
+        },
+    )
+    .expect("write_store");
+}
+
+/// Every query verb, over a grid of filters derived from the actual data,
+/// must agree between the original in-memory store and the reopened one.
+fn assert_queries_agree(mem: &EventStore, re: &EventStore, events: &[LogEvent]) {
+    let mut filters = vec![QueryFilter::default()];
+    if let Some(first) = events.first() {
+        filters.push(QueryFilter {
+            classes: vec![hpc_diagnosis::EventClass::of(&first.payload)],
+            ..QueryFilter::default()
+        });
+        let lo = events[0].time;
+        let hi = events[events.len() - 1].time;
+        let mid = SimTime::from_millis((lo.as_millis() + hi.as_millis()) / 2);
+        filters.push(QueryFilter {
+            from: Some(lo),
+            to: Some(mid),
+            ..QueryFilter::default()
+        });
+        if let Some(node) = events.iter().find_map(|e| e.subject_node()) {
+            filters.push(QueryFilter {
+                node: Some(node),
+                from: Some(mid),
+                ..QueryFilter::default()
+            });
+            filters.push(QueryFilter {
+                blade: Some(node.blade()),
+                ..QueryFilter::default()
+            });
+            filters.push(QueryFilter {
+                cabinet: Some(node.cabinet()),
+                to: Some(hi),
+                ..QueryFilter::default()
+            });
+        }
+    }
+    for f in &filters {
+        assert_eq!(query::count(mem, f), query::count(re, f));
+        assert_eq!(f.select(mem), f.select(re), "select mismatch for {f:?}");
+        for key in [
+            HistKey::Class,
+            HistKey::Node,
+            HistKey::Blade,
+            HistKey::Cabinet,
+            HistKey::Day,
+            HistKey::Hour,
+        ] {
+            assert_eq!(query::histogram(mem, f, key), query::histogram(re, f, key));
+        }
+        assert_eq!(
+            query::tail(mem, f, 7, SchedulerKind::Slurm),
+            query::tail(re, f, 7, SchedulerKind::Slurm)
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn save_then_reopen_reproduces_the_diagnosis_exactly(events in event_soup()) {
+        let config = DiagnosisConfig::default();
+        let d = Diagnosis::from_events(events, 3, config);
+        let dir = tmpdir("rt");
+        save(&d, &dir);
+
+        let opened = segment::open_store(&dir).expect("open_store");
+        prop_assert_eq!(&opened.events, d.events());
+        prop_assert_eq!(&opened.failures, &d.failures);
+        prop_assert_eq!(&opened.swos, &d.swos);
+        prop_assert_eq!(&opened.swo_failures, &d.swo_failures);
+        prop_assert_eq!(opened.manifest.skipped_lines, d.skipped_lines);
+        prop_assert_eq!(opened.manifest.events, d.events().len() as u64);
+
+        // The rehosted batch path: a Diagnosis reopened from the store
+        // renders the byte-identical full report.
+        let re = Diagnosis::from_store(&dir, config).expect("from_store");
+        let jobs = hpc_diagnosis::jobs::JobLog::from_diagnosis(&d);
+        let re_jobs = hpc_diagnosis::jobs::JobLog::from_diagnosis(&re);
+        prop_assert_eq!(
+            hpc_diagnosis::report::full_report(&d, &jobs),
+            hpc_diagnosis::report::full_report(&re, &re_jobs)
+        );
+
+        // Every hpc-query verb agrees between the two stores.
+        let failures = opened.failures.clone();
+        let rebuilt = EventStore::build(opened.events, &failures);
+        assert_queries_agree(d.store(), &rebuilt, d.events());
+        prop_assert_eq!(
+            query::failures(&d.failures, &QueryFilter::default()),
+            query::failures(&failures, &QueryFilter::default())
+        );
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Any single-byte flip or truncation anywhere in the store either
+    /// fails with a clean [`segment::OpenError`] or (for the few bytes the
+    /// fingerprint does not cover, e.g. the free-text source label) still
+    /// opens to the identical event sequence. It must never panic.
+    #[test]
+    fn corrupted_or_truncated_stores_error_cleanly(
+        events in event_soup(),
+        pick in 0usize..4096,
+        mutation in 0usize..4096,
+        truncate_pick in 0usize..2,
+    ) {
+        let truncate = truncate_pick == 1;
+        let d = Diagnosis::from_events(events, 0, DiagnosisConfig::default());
+        let dir = tmpdir("fz");
+        save(&d, &dir);
+
+        let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        files.sort();
+        let victim = &files[pick % files.len()];
+        let mut bytes = std::fs::read(victim).unwrap();
+        let unchanged = if truncate {
+            let cut = mutation % (bytes.len() + 1);
+            let noop = cut == bytes.len();
+            bytes.truncate(cut);
+            noop
+        } else if bytes.is_empty() {
+            true
+        } else {
+            let at = mutation % bytes.len();
+            bytes[at] ^= 0x20;
+            false
+        };
+        std::fs::write(victim, &bytes).unwrap();
+
+        // The property under test is "no panic, no silent divergence":
+        // open_store returns a Result, and on Ok the events round-trip.
+        match segment::open_store(&dir) {
+            Ok(opened) => prop_assert_eq!(&opened.events, d.events()),
+            Err(e) => {
+                let msg = e.to_string();
+                prop_assert!(!msg.is_empty());
+                prop_assert!(!msg.contains('\n'), "one-line error: {}", msg);
+                prop_assert!(!unchanged, "untouched store failed to open: {}", msg);
+            }
+        }
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn empty_archive_round_trips() {
+    let d = Diagnosis::from_events(Vec::new(), 0, DiagnosisConfig::default());
+    let dir = tmpdir("empty");
+    save(&d, &dir);
+    let opened = segment::open_store(&dir).expect("open_store");
+    assert!(opened.events.is_empty());
+    assert!(opened.failures.is_empty());
+    assert_eq!(opened.manifest.segments.len(), 0);
+    assert_eq!(
+        query::count(
+            &EventStore::build(opened.events, &[]),
+            &QueryFilter::default()
+        ),
+        0
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn single_event_round_trips() {
+    let events = vec![LogEvent {
+        time: SimTime::from_millis(42_000),
+        payload: Payload::Console {
+            node: NodeId(7),
+            detail: ConsoleDetail::KernelPanic {
+                reason: PanicReason::OutOfMemory,
+            },
+        },
+    }];
+    let d = Diagnosis::from_events(events, 0, DiagnosisConfig::default());
+    let dir = tmpdir("one");
+    save(&d, &dir);
+    let opened = segment::open_store(&dir).expect("open_store");
+    assert_eq!(&opened.events, d.events());
+    assert_eq!(opened.manifest.segments.len(), 1);
+    let failures = opened.failures.clone();
+    let store = EventStore::build(opened.events, &failures);
+    assert_eq!(query::count(&store, &QueryFilter::default()), 1);
+    std::fs::remove_dir_all(&dir).ok();
+}

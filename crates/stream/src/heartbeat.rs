@@ -25,6 +25,8 @@
 //! heartbeat schema version; additive changes keep it, breaking changes
 //! bump it.
 
+use std::io::Write;
+
 use hpc_telemetry::json::JsonValue;
 
 use crate::engine::StreamStats;
@@ -102,6 +104,73 @@ pub fn heartbeat_line(
     JsonValue::Object(fields).to_string()
 }
 
+/// Sequenced heartbeat emission with the **single-final invariant**: a
+/// stream of records contains exactly one `"final": true` record, and it
+/// is the last line ever written.
+///
+/// The invariant is enforced here, at the emit layer, rather than in the
+/// caller's control flow: if a SIGINT/SIGTERM drain races the EOF drain
+/// (both paths legitimately try to write the closing record), the second
+/// final — and any stray periodic beat scheduled after the final — is
+/// silently dropped. Every accepted record is flushed immediately so the
+/// newest state survives any exit.
+#[derive(Debug)]
+pub struct HeartbeatWriter<W: Write> {
+    out: W,
+    seq: u64,
+    final_written: bool,
+}
+
+impl<W: Write> HeartbeatWriter<W> {
+    /// Wraps `out`; records are appended one JSON line at a time.
+    pub fn new(out: W) -> HeartbeatWriter<W> {
+        HeartbeatWriter {
+            out,
+            seq: 0,
+            final_written: false,
+        }
+    }
+
+    /// Emits one heartbeat unless the final record has already been
+    /// written; returns whether a line was actually written. Passing
+    /// `last = true` writes the final record and seals the writer.
+    pub fn beat(
+        &mut self,
+        uptime_ms: u64,
+        last: bool,
+        stats: &StreamStats,
+        outstanding_alerts: usize,
+        follow: Option<&FollowHealth>,
+    ) -> bool {
+        if self.final_written {
+            return false;
+        }
+        let line = heartbeat_line(self.seq, uptime_ms, last, stats, outstanding_alerts, follow);
+        let _ = writeln!(self.out, "{line}");
+        let _ = self.out.flush();
+        self.seq += 1;
+        if last {
+            self.final_written = true;
+        }
+        true
+    }
+
+    /// Records emitted so far.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Whether the final record has been written (the writer is sealed).
+    pub fn final_written(&self) -> bool {
+        self.final_written
+    }
+
+    /// The wrapped writer (for tests inspecting the byte stream).
+    pub fn get_ref(&self) -> &W {
+        &self.out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,5 +231,46 @@ mod tests {
         assert_eq!(v.get("follow_quarantined").unwrap().as_number(), Some(1.0));
         assert_eq!(v.get("follow_io_errors").unwrap().as_number(), Some(5.0));
         assert_eq!(v.get("follow_rotations").unwrap().as_number(), Some(2.0));
+    }
+
+    /// The single-final invariant: even when a signal-drain races the EOF
+    /// drain (both calling `beat(..., last=true)`) and a stray periodic
+    /// beat follows, exactly one final record exists and it is the last
+    /// line.
+    #[test]
+    fn writer_emits_exactly_one_final_even_when_drains_race() {
+        let mut hb = HeartbeatWriter::new(Vec::new());
+        assert!(hb.beat(1_000, false, &stats(), 0, None));
+        assert!(hb.beat(2_000, false, &stats(), 1, None));
+        // EOF drain writes the final record ...
+        assert!(hb.beat(3_000, true, &stats(), 0, None));
+        assert!(hb.final_written());
+        // ... then the signal drain tries again, and a periodic beat fires.
+        assert!(!hb.beat(3_001, true, &stats(), 0, None));
+        assert!(!hb.beat(3_002, false, &stats(), 0, None));
+        assert_eq!(hb.seq(), 3);
+
+        let text = String::from_utf8(hb.get_ref().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let finals: Vec<bool> = lines
+            .iter()
+            .map(|l| json::parse(l).unwrap().get("final") == Some(&JsonValue::Bool(true)))
+            .collect();
+        assert_eq!(finals, [false, false, true], "one final, and it is last");
+        // Sequence numbers stay dense across the suppressed calls.
+        for (i, l) in lines.iter().enumerate() {
+            let v = json::parse(l).unwrap();
+            assert_eq!(v.get("seq").unwrap().as_number(), Some(i as f64));
+        }
+    }
+
+    #[test]
+    fn writer_seals_even_if_the_first_record_is_final() {
+        let mut hb = HeartbeatWriter::new(Vec::new());
+        assert!(hb.beat(0, true, &stats(), 0, None));
+        assert!(!hb.beat(1, false, &stats(), 0, None));
+        let text = String::from_utf8(hb.get_ref().clone()).unwrap();
+        assert_eq!(text.lines().count(), 1);
     }
 }

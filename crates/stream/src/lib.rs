@@ -50,7 +50,7 @@ pub mod window;
 pub use engine::{StreamConfig, StreamEngine, StreamStats};
 pub use flight::{FlightEntry, FlightRecorder};
 pub use follow::{FollowDir, FollowStats};
-pub use heartbeat::{heartbeat_line, FollowHealth, HEARTBEAT_VERSION};
+pub use heartbeat::{heartbeat_line, FollowHealth, HeartbeatWriter, HEARTBEAT_VERSION};
 pub use merger::StreamMerger;
 pub use sink::{AlertSink, JsonlSink, TextSink};
 pub use window::SlidingWindow;

@@ -4,8 +4,9 @@
 //! operator advisories.
 //!
 //! ```text
-//! hpc-diagnose <log-dir> [--verbose] [--telemetry-json <path>]
-//! hpc-diagnose --stdin   [--verbose] [--telemetry-json <path>]
+//! hpc-diagnose <log-dir> [--save-store <dir>] [--verbose] [--telemetry-json <path>]
+//! hpc-diagnose --stdin   [--save-store <dir>] [--verbose] [--telemetry-json <path>]
+//! hpc-diagnose --from-store <dir> [--verbose] [--telemetry-json <path>]
 //! cargo run --release --bin hpc-diagnose -- /tmp/logs
 //! cat console controller.log | hpc-diagnose --stdin
 //! ```
@@ -14,6 +15,11 @@
 //! any interleaving; each line is routed to its parser by envelope sniffing
 //! (`guess_source`). Lines with no recognisable envelope are handed to the
 //! console parser, which counts them as skipped.
+//!
+//! `--save-store <dir>` additionally persists the finished diagnosis as an
+//! on-disk segment store (see `hpc_diagnosis::segment`); `--from-store
+//! <dir>` reopens one in milliseconds instead of re-parsing text, and
+//! emits a byte-identical report.
 //!
 //! The report goes to stdout; progress, warnings and the per-stage
 //! telemetry table go to stderr. `--verbose` (or `HPC_TRACE=1`) adds a
@@ -35,8 +41,25 @@ use hpc_node_failures::diagnosis::{Diagnosis, DiagnosisConfig};
 use hpc_node_failures::telemetry;
 
 fn usage() -> ! {
-    eprintln!("usage: hpc-diagnose (<log-dir> | --stdin) [--verbose] [--telemetry-json <path>]");
+    eprintln!(
+        "usage: hpc-diagnose (<log-dir> | --stdin | --from-store <dir>) \
+         [--save-store <dir>] [--verbose] [--telemetry-json <path>]"
+    );
     exit(2)
+}
+
+/// Fails fast — one line, exit 1 — if `path` cannot be created/appended,
+/// so an unwritable output flag is reported before any work is done
+/// rather than as a panic (or a late error) after minutes of ingest.
+fn probe_writable(path: &str) {
+    if let Err(e) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    {
+        eprintln!("cannot write {path}: {e}");
+        exit(1);
+    }
 }
 
 /// Reads a pre-merged log stream from stdin into an archive, routing each
@@ -54,6 +77,8 @@ fn archive_from_stdin() -> LogArchive {
 
 fn main() {
     let mut telemetry_json: Option<String> = None;
+    let mut save_store: Option<String> = None;
+    let mut from_store: Option<String> = None;
     let mut from_stdin = false;
     let mut positional = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -65,17 +90,52 @@ fn main() {
                 Some(path) => telemetry_json = Some(path),
                 None => usage(),
             },
+            "--save-store" => match args.next() {
+                Some(dir) => save_store = Some(dir),
+                None => usage(),
+            },
+            "--from-store" => match args.next() {
+                Some(dir) => from_store = Some(dir),
+                None => usage(),
+            },
             _ if arg.starts_with("--") => usage(),
             _ => positional.push(arg),
         }
     }
-    if from_stdin != positional.is_empty() {
-        // Exactly one input: a directory, or the merged stream on stdin.
+    let inputs = from_stdin as usize + positional.len() + from_store.is_some() as usize;
+    if inputs != 1 || (from_store.is_some() && save_store.is_some()) {
+        // Exactly one input: a directory, the merged stream on stdin, or a
+        // previously saved segment store (which there is no point re-saving).
         usage();
     }
+    // Probe every output path up front (the PR 6 fail-fast contract):
+    // better to refuse now than to panic or lose the report after ingest.
+    if let Some(path) = &telemetry_json {
+        probe_writable(path);
+    }
+    if let Some(dir) = &save_store {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot write {dir}: {e}");
+            exit(1);
+        }
+        probe_writable(&format!("{dir}/MANIFEST.json"));
+    }
+
     let config = DiagnosisConfig::default();
     let origin;
-    let d = if from_stdin {
+    // Stdin has no scheduler marker file; Slurm is the simulator default.
+    let mut scheduler = SchedulerKind::Slurm;
+    let d = if let Some(dir) = &from_store {
+        origin = dir.clone();
+        eprintln!("reopening segment store {dir} ...");
+        match Diagnosis::from_store(Path::new(dir), config) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("{e}");
+                exit(1);
+            }
+        }
+    } else if from_stdin {
         origin = "stdin".to_string();
         eprintln!("reading merged log stream from stdin ...");
         Diagnosis::from_archive(&archive_from_stdin(), config)
@@ -88,6 +148,7 @@ fn main() {
             eprintln!("cannot read log directory {dir}: {e}");
             exit(1);
         }
+        scheduler = hpc_node_failures::logs::fs::detect_scheduler(Path::new(dir));
         eprintln!(
             "streaming logs from {dir} with {} ingest threads ...",
             Diagnosis::ingest_threads(&config)
@@ -105,17 +166,21 @@ fn main() {
     };
     let ingest_snap = telemetry::snapshot();
     let snapshot_lines = ingest_snap.counter("ingest.lines").unwrap_or(0);
-    if snapshot_lines == 0 {
-        eprintln!("no log lines found in {origin}");
-        exit(1);
-    }
-    if d.skipped_lines > 0 {
-        let pct = 100.0 * d.skipped_lines as f64 / snapshot_lines as f64;
-        eprintln!(
-            "warning: {} of {} lines unrecognised ({pct:.2}%) — possible log corruption \
-             or unsupported format (counter ingest.skipped_lines)",
-            d.skipped_lines, snapshot_lines
-        );
+    if from_store.is_none() {
+        // A store reopen parses no lines; the emptiness check belongs to
+        // text ingest only.
+        if snapshot_lines == 0 {
+            eprintln!("no log lines found in {origin}");
+            exit(1);
+        }
+        if d.skipped_lines > 0 {
+            let pct = 100.0 * d.skipped_lines as f64 / snapshot_lines as f64;
+            eprintln!(
+                "warning: {} of {} lines unrecognised ({pct:.2}%) — possible log corruption \
+                 or unsupported format (counter ingest.skipped_lines)",
+                d.skipped_lines, snapshot_lines
+            );
+        }
     }
     // Loss accounting per the degradation contract (DESIGN.md §10): say
     // exactly what was sanitised or truncated away, never fail silently.
@@ -131,6 +196,19 @@ fn main() {
              {dropped_io} stream(s) truncated at a mid-file I/O error \
              (counters core.ingest.dropped.*)"
         );
+    }
+    if let Some(dir) = &save_store {
+        match d.save_store(Path::new(dir), &origin, snapshot_lines, scheduler) {
+            Ok(manifest) => eprintln!(
+                "segment store written to {dir}: {} events in {} segments",
+                manifest.events,
+                manifest.segments.len()
+            ),
+            Err(e) => {
+                eprintln!("cannot write {dir}: {e}");
+                exit(1);
+            }
+        }
     }
     let jobs = JobLog::from_diagnosis(&d);
     print!("{}", report::full_report(&d, &jobs));

@@ -35,7 +35,7 @@
 //! dumps it to stderr (and `--flight-file`) without stopping the monitor;
 //! a panic dumps it before the backtrace (DESIGN.md §11).
 
-use std::io::{BufRead, Write};
+use std::io::BufRead;
 use std::path::PathBuf;
 use std::process::exit;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -47,7 +47,7 @@ use hpc_node_failures::logs::parse::guess_source;
 use hpc_node_failures::logs::time::SimDuration;
 use hpc_node_failures::stream::flight::{self, FlightRecorder};
 use hpc_node_failures::stream::{
-    heartbeat_line, FollowDir, FollowHealth, JsonlSink, StreamConfig, StreamEngine, StreamStats,
+    FollowDir, FollowHealth, HeartbeatWriter, JsonlSink, StreamConfig, StreamEngine, StreamStats,
     TextSink,
 };
 use hpc_node_failures::telemetry;
@@ -166,25 +166,26 @@ fn parse_args() -> Options {
     opts
 }
 
-/// Periodic + final heartbeat emission; every line is flushed immediately
-/// so the newest record survives any exit, including signals and crashes.
+/// Periodic + final heartbeat emission. The single-final invariant (and
+/// the flush-every-line behaviour that makes heartbeats survive any exit)
+/// lives in [`HeartbeatWriter`]; this wrapper only adds the wall-clock
+/// scheduling, so a signal drain racing the EOF drain can call `beat`
+/// twice and still leave exactly one `"final": true` record in the file.
 struct Heartbeat {
-    out: std::fs::File,
+    writer: HeartbeatWriter<std::fs::File>,
     interval: Duration,
     started: Instant,
     last: Instant,
-    seq: u64,
 }
 
 impl Heartbeat {
     fn open(path: &str, interval: Duration) -> Heartbeat {
         match std::fs::File::create(path) {
             Ok(out) => Heartbeat {
-                out,
+                writer: HeartbeatWriter::new(out),
                 interval,
                 started: Instant::now(),
                 last: Instant::now(),
-                seq: 0,
             },
             Err(e) => {
                 eprintln!("cannot open {path}: {e}");
@@ -198,18 +199,17 @@ impl Heartbeat {
             stats: f.stats(),
             quarantined: f.quarantined(),
         });
-        let line = heartbeat_line(
-            self.seq,
+        let seq = self.writer.seq();
+        let written = self.writer.beat(
             self.started.elapsed().as_millis() as u64,
             last,
             &engine.stats(),
             engine.outstanding_alerts(),
             health.as_ref(),
         );
-        let _ = writeln!(self.out, "{line}");
-        let _ = self.out.flush();
-        flight::record_global("heartbeat", format!("seq {} written", self.seq));
-        self.seq += 1;
+        if written {
+            flight::record_global("heartbeat", format!("seq {seq} written"));
+        }
         self.last = Instant::now();
     }
 
@@ -386,8 +386,28 @@ fn run_follow(
     follow
 }
 
+/// Fails fast — one line, exit 1 — if `path` cannot be created/appended,
+/// so an unwritable output flag is reported at startup rather than as a
+/// lost artefact (or an exit-time error) after hours of monitoring.
+fn probe_writable(path: &str) {
+    if let Err(e) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    {
+        eprintln!("cannot write {path}: {e}");
+        exit(1);
+    }
+}
+
 fn main() {
     let opts = parse_args();
+    if let Some(path) = &opts.telemetry_json {
+        probe_writable(path);
+    }
+    if let Some(path) = &opts.flight_file {
+        probe_writable(path);
+    }
     install_signal_handlers();
     flight::install_global(Arc::new(Mutex::new(FlightRecorder::new(FLIGHT_CAPACITY))));
     flight::install_panic_hook();

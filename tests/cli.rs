@@ -277,6 +277,181 @@ fn watch_follow_rejects_missing_directory_promptly() {
     );
 }
 
+/// An unwritable output path must be a one-line failure at startup, not a
+/// panic (or a lost artefact) after the run. `blocker/x` where `blocker`
+/// is a regular file yields ENOTDIR, which fails even for root.
+fn blocker_path(dir: &std::path::Path, name: &str) -> String {
+    let blocker = dir.join("blocker");
+    std::fs::create_dir_all(dir).unwrap();
+    std::fs::write(&blocker, "not a directory\n").unwrap();
+    blocker.join(name).to_str().unwrap().to_string()
+}
+
+#[test]
+fn diagnose_fails_fast_on_unwritable_outputs() {
+    let dir = tmpdir("diag-unwritable");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = blocker_path(&dir, "out.json");
+    for flags in [
+        vec!["--telemetry-json", bad.as_str()],
+        vec!["--save-store", bad.as_str()],
+    ] {
+        let out = Command::new(env!("CARGO_BIN_EXE_hpc-diagnose"))
+            .arg(dir.to_str().unwrap())
+            .args(&flags)
+            .output()
+            .expect("run hpc-diagnose");
+        assert_eq!(out.status.code(), Some(1), "{flags:?}: {out:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("cannot write"),
+            "{flags:?}: want a one-line error, got:\n{stderr}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn watch_fails_fast_on_unwritable_outputs() {
+    let dir = tmpdir("watch-unwritable");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = blocker_path(&dir, "out.jsonl");
+    for (flag, want) in [
+        ("--telemetry-json", "cannot write"),
+        ("--flight-file", "cannot write"),
+        ("--heartbeat-jsonl", "cannot open"),
+    ] {
+        let out = Command::new(env!("CARGO_BIN_EXE_hpc-watch"))
+            .args(["--stdin", "--quiet", flag, bad.as_str()])
+            .stdin(std::process::Stdio::null())
+            .output()
+            .expect("run hpc-watch");
+        assert_eq!(out.status.code(), Some(1), "{flag}: {out:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(want),
+            "{flag}: want a one-line error, got:\n{stderr}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The rehosted batch path: `--save-store` then `--from-store` must emit a
+/// byte-identical report, and `hpc-query` must answer over the same store.
+#[test]
+fn save_store_then_from_store_report_is_byte_identical() {
+    let dir = tmpdir("store-roundtrip");
+    let store = dir.join("store");
+    let sim = Command::new(env!("CARGO_BIN_EXE_hpc-simulate"))
+        .args([dir.to_str().unwrap(), "S1", "1", "2", "99"])
+        .output()
+        .expect("run hpc-simulate");
+    assert!(sim.status.success(), "simulate failed: {sim:?}");
+
+    let first = Command::new(env!("CARGO_BIN_EXE_hpc-diagnose"))
+        .args([
+            dir.to_str().unwrap(),
+            "--save-store",
+            store.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run hpc-diagnose --save-store");
+    assert!(first.status.success(), "save-store failed: {first:?}");
+    assert!(
+        String::from_utf8_lossy(&first.stderr).contains("segment store written"),
+        "no save confirmation: {first:?}"
+    );
+    assert!(store.join("MANIFEST.json").is_file());
+
+    let second = Command::new(env!("CARGO_BIN_EXE_hpc-diagnose"))
+        .args(["--from-store", store.to_str().unwrap()])
+        .output()
+        .expect("run hpc-diagnose --from-store");
+    assert!(second.status.success(), "from-store failed: {second:?}");
+    assert_eq!(
+        first.stdout, second.stdout,
+        "reopened report differs from the ingest report"
+    );
+
+    // hpc-query answers over the same store, text and JSON.
+    let count = Command::new(env!("CARGO_BIN_EXE_hpc-query"))
+        .args([store.to_str().unwrap(), "count"])
+        .output()
+        .expect("run hpc-query count");
+    assert!(count.status.success(), "count failed: {count:?}");
+    let n: u64 = String::from_utf8_lossy(&count.stdout)
+        .trim()
+        .parse()
+        .expect("count prints a number");
+    assert!(n > 0, "empty store");
+    let hist = Command::new(env!("CARGO_BIN_EXE_hpc-query"))
+        .args([
+            store.to_str().unwrap(),
+            "histogram",
+            "--by",
+            "class",
+            "--json",
+        ])
+        .output()
+        .expect("run hpc-query histogram");
+    assert!(hist.status.success(), "histogram failed: {hist:?}");
+    hpc_node_failures::telemetry::json::parse(String::from_utf8_lossy(&hist.stdout).trim())
+        .expect("histogram --json parses");
+
+    // A flipped byte in a segment body must be a one-line exit-1 error for
+    // both consumers of the store — never a panic, never a wrong answer.
+    let seg = std::fs::read_dir(&store)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| p.extension().is_some_and(|x| x == "col"))
+        .expect("a segment file");
+    let mut bytes = std::fs::read(&seg).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xff;
+    std::fs::write(&seg, &bytes).unwrap();
+    for cmd in [
+        Command::new(env!("CARGO_BIN_EXE_hpc-query"))
+            .args([store.to_str().unwrap(), "count"])
+            .output()
+            .expect("run hpc-query on corrupt store"),
+        Command::new(env!("CARGO_BIN_EXE_hpc-diagnose"))
+            .args(["--from-store", store.to_str().unwrap()])
+            .output()
+            .expect("run hpc-diagnose on corrupt store"),
+    ] {
+        assert_eq!(cmd.status.code(), Some(1), "{cmd:?}");
+        let stderr = String::from_utf8_lossy(&cmd.stderr);
+        assert!(
+            stderr.contains("corrupt segment store"),
+            "want a clean corruption error, got:\n{stderr}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn query_rejects_missing_store_and_bad_args() {
+    let out = Command::new(env!("CARGO_BIN_EXE_hpc-query"))
+        .args(["/nonexistent/hpc-store", "count"])
+        .output()
+        .expect("run hpc-query");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("cannot read"),
+        "{out:?}"
+    );
+
+    let out = Command::new(env!("CARGO_BIN_EXE_hpc-query"))
+        .args(["/tmp", "frobnicate"])
+        .output()
+        .expect("run hpc-query");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("unknown verb"),
+        "{out:?}"
+    );
+}
+
 #[test]
 fn simulate_rejects_bad_system() {
     let dir = tmpdir("badsys");
