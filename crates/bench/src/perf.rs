@@ -1,12 +1,13 @@
 //! Tracked performance trajectory: the fixed workload matrix behind the
-//! `hpc-bench` binary and the `BENCH_0008.json` artefact.
+//! `hpc-bench` binary and the `BENCH_0009.json` artefact.
 //!
 //! Criterion benches (`benches/`) answer "is this change faster?" on a
 //! developer box; they leave no durable record, so regressions that creep
 //! in over many PRs are invisible. This module runs a *fixed, seeded*
 //! workload matrix over the hot paths — ingest (sequential and pooled),
 //! EventStore build, indexed queries, segment-store reopen and cold
-//! query, stream replay, chaos-corrupted ingest — and renders the result
+//! query, stream replay, chaos-corrupted ingest, and the fleetd HTTP
+//! read path — and renders the result
 //! as a schema-versioned JSON report that
 //! is committed at the repo root and diffed by the CI `bench-gate` job
 //! (`--gate <baseline>` exits nonzero on a regression beyond tolerance).
@@ -21,11 +22,17 @@
 //! the *trajectory* on the maintainer's machine, while CI gates against a
 //! fresh same-machine baseline (see `.github/workflows/ci.yml`).
 
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use hpc_diagnosis::{Diagnosis, DiagnosisConfig, EventStore};
 use hpc_faultsim::chaos::{ChaosFeed, ChaosSpec, Intensity};
 use hpc_faultsim::Scenario;
+use hpc_fleet::snapshot::{SnapshotSlot, SystemSnapshot};
+use hpc_fleet::{serve, Fleet, ServerConfig};
 use hpc_logs::archive::LogArchive;
 use hpc_logs::event::LogSource;
 use hpc_logs::time::SimDuration;
@@ -37,7 +44,7 @@ use hpc_telemetry::json::{self, JsonValue};
 pub const SCHEMA_VERSION: u64 = 1;
 
 /// Default report file name at the repo root.
-pub const DEFAULT_OUT: &str = "BENCH_0008.json";
+pub const DEFAULT_OUT: &str = "BENCH_0009.json";
 
 /// Default gate tolerance: current median may drop this far below the
 /// baseline median before the gate fails.
@@ -59,7 +66,7 @@ pub struct BenchParams {
 }
 
 impl BenchParams {
-    /// The full tracked matrix (what `BENCH_0008.json` records).
+    /// The full tracked matrix (what `BENCH_0009.json` records).
     pub fn full() -> BenchParams {
         BenchParams {
             system: SystemId::S1,
@@ -180,6 +187,79 @@ fn merged_stream_lines(archive: &LogArchive) -> Vec<(LogSource, String)> {
         key(&a.1).cmp(&key(&b.1))
     });
     merged
+}
+
+/// Keep-alive HTTP/1.1 client for the fleetd workloads: one connection,
+/// exact `Content-Length` framing, reconnects transparently when the
+/// server rotates the connection at its per-connection request cap.
+struct BenchClient {
+    addr: std::net::SocketAddr,
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl BenchClient {
+    fn connect(addr: std::net::SocketAddr) -> BenchClient {
+        let stream = TcpStream::connect(addr).expect("connect to bench fleetd");
+        stream.set_nodelay(true).ok();
+        BenchClient {
+            addr,
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    /// One GET; returns the status code. Panics on malformed responses —
+    /// a bench must not silently measure error pages.
+    fn get(&mut self, path: &str) -> u16 {
+        let request = format!("GET {path} HTTP/1.1\r\nHost: bench\r\n\r\n");
+        if self.stream.write_all(request.as_bytes()).is_err() {
+            // Server rotated the connection (request cap); reconnect once.
+            *self = BenchClient::connect(self.addr);
+            self.stream.write_all(request.as_bytes()).expect("rewrite");
+        }
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Some(head_end) = self
+                .buf
+                .windows(4)
+                .position(|w| w == b"\r\n\r\n")
+                .map(|p| p + 4)
+            {
+                let head = std::str::from_utf8(&self.buf[..head_end]).expect("utf-8 head");
+                let status: u16 = head
+                    .split(' ')
+                    .nth(1)
+                    .and_then(|s| s.parse().ok())
+                    .expect("status code");
+                let length: usize = head
+                    .lines()
+                    .find_map(|l| l.strip_prefix("Content-Length: "))
+                    .and_then(|v| v.trim().parse().ok())
+                    .expect("Content-Length");
+                let body_len = if status == 304 { 0 } else { length };
+                while self.buf.len() < head_end + body_len {
+                    let n = self.stream.read(&mut chunk).expect("read body");
+                    assert!(n > 0, "connection closed mid-body");
+                    self.buf.extend_from_slice(&chunk[..n]);
+                }
+                self.buf.drain(..head_end + body_len);
+                return status;
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    // Closed between requests: reconnect and retry.
+                    assert!(self.buf.is_empty(), "connection closed mid-head");
+                    *self = BenchClient::connect(self.addr);
+                    self.stream
+                        .write_all(request.as_bytes())
+                        .expect("rewrite after close");
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) => panic!("read head: {e}"),
+            }
+        }
+    }
 }
 
 /// Runs the fixed workload matrix and assembles the report.
@@ -395,6 +475,162 @@ pub fn run_matrix(
     measurements.push(summarize("chaos.ingest", "lines_per_sec", chaos));
     progress("chaos.ingest done");
 
+    // 9./10. fleetd HTTP read path: an in-process `hpc-fleet` server on
+    //   an ephemeral port, one snapshot slot standing in for a shard. The
+    //   cached `/report` (rendered once per generation, then served from
+    //   the snapshot's cache) and the `/window` JSON path are measured as
+    //   requests/sec over a keep-alive connection. Additionally, ingest
+    //   throughput is measured twice through the same replay-and-publish
+    //   loop — once with no readers, once with reader threads hammering
+    //   the API — and the delta is reported as
+    //   `fleetd_ingest_overhead_pct`: the swap-on-publish snapshot
+    //   hand-off promises readers never block ingest, so the overhead
+    //   must stay under 10 (asserted by the CI bench-gate job).
+    let slot = Arc::new(SnapshotSlot::new("S1"));
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind bench fleetd");
+    let server = serve(
+        listener,
+        Fleet::new(vec![("S1".to_string(), Arc::clone(&slot))]),
+        ServerConfig::default(),
+        Arc::clone(&shutdown),
+    )
+    .expect("start bench fleetd");
+    let addr = server.addr();
+
+    // The replay-and-publish loop both workloads share: the stream.replay
+    // ingest path plus a snapshot publication every 2048 lines, ending in
+    // a finished snapshot (so `/report` has a stable generation to cache).
+    let mut generation = 0u64;
+    let ingest_pass = |generation: &mut u64| {
+        let mut engine = StreamEngine::new(StreamConfig::default());
+        for (i, (source, line)) in merged.iter().enumerate() {
+            engine.push_line(*source, line);
+            if i % 2048 == 0 {
+                *generation += 1;
+                slot.publish(SystemSnapshot::capture(
+                    "S1",
+                    *generation,
+                    false,
+                    &engine,
+                    None,
+                    &[],
+                ));
+            }
+        }
+        engine.finish();
+        *generation += 1;
+        slot.publish(SystemSnapshot::capture(
+            "S1",
+            *generation,
+            true,
+            &engine,
+            None,
+            &[],
+        ));
+        engine.stats().events
+    };
+
+    // Seed the finished snapshot the API workloads read.
+    ingest_pass(&mut generation);
+
+    // API throughput on the finished snapshot. 1000 requests per run
+    // keeps one run under the server's per-connection request cap.
+    const API_REQUESTS: usize = 1000;
+    let api_run = |path: &str| -> f64 {
+        let mut client = BenchClient::connect(addr);
+        throughput(API_REQUESTS as f64, || {
+            for _ in 0..API_REQUESTS {
+                let status = client.get(path);
+                assert_eq!(status, 200, "bench GET {path}");
+            }
+        })
+    };
+    let report_runs: Vec<f64> = (0..params.runs)
+        .map(|_| api_run("/v1/systems/S1/report"))
+        .collect();
+    measurements.push(summarize(
+        "fleetd.api.report",
+        "requests_per_sec",
+        report_runs,
+    ));
+    let window_runs: Vec<f64> = (0..params.runs)
+        .map(|_| api_run("/v1/systems/S1/window"))
+        .collect();
+    measurements.push(summarize(
+        "fleetd.api.window",
+        "requests_per_sec",
+        window_runs,
+    ));
+    progress("fleetd.api done");
+
+    // Ingest with and without reader threads exercising the API. Each
+    // publish bumps the generation, so loaded `/report` requests also pay
+    // cache-miss renders — the worst case for ingest. Two deliberate
+    // choices keep the probe honest:
+    //
+    // - Readers are *paced* (one request per 5 ms each) rather than
+    //   busy-spinning: the contract under test is that the snapshot
+    //   hand-off never blocks ingest, and unpaced readers would instead
+    //   measure raw CPU scheduling on small machines (a single-core
+    //   runner starves the ingest thread no matter how the hand-off is
+    //   built).
+    // - Quiet and loaded passes are *interleaved pairwise* rather than
+    //   phase-by-phase, so slow machine-level drift over the measurement
+    //   window cancels out of the ratio instead of masquerading as
+    //   overhead.
+    let stop_readers = Arc::new(AtomicBool::new(false));
+    let pause_readers = Arc::new(AtomicBool::new(true));
+    let readers: Vec<_> = (0..2)
+        .map(|i| {
+            let stop = Arc::clone(&stop_readers);
+            let pause = Arc::clone(&pause_readers);
+            std::thread::spawn(move || {
+                let mut client = BenchClient::connect(addr);
+                let path = if i % 2 == 0 {
+                    "/v1/systems/S1/report"
+                } else {
+                    "/v1/systems/S1/window"
+                };
+                let mut served = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    if pause.load(Ordering::Relaxed) {
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                        continue;
+                    }
+                    let status = client.get(path);
+                    assert!(
+                        status == 200 || status == 503,
+                        "reader GET {path}: {status}"
+                    );
+                    served += 1;
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+                served
+            })
+        })
+        .collect();
+    let settle = std::time::Duration::from_millis(20);
+    let mut ingest_quiet = Vec::with_capacity(params.runs);
+    let mut ingest_loaded = Vec::with_capacity(params.runs);
+    for _ in 0..params.runs {
+        pause_readers.store(true, Ordering::Relaxed);
+        std::thread::sleep(settle); // let the in-flight request finish
+        ingest_quiet.push(throughput(lines, || ingest_pass(&mut generation)));
+        pause_readers.store(false, Ordering::Relaxed);
+        std::thread::sleep(settle);
+        ingest_loaded.push(throughput(lines, || ingest_pass(&mut generation)));
+    }
+    stop_readers.store(true, Ordering::Relaxed);
+    let api_reads: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();
+    let ingest_quiet_median = median(&ingest_quiet);
+    let ingest_loaded_median = median(&ingest_loaded);
+    shutdown.store(true, Ordering::SeqCst);
+    server.join();
+    progress(&format!(
+        "fleetd.ingest quiet/loaded done ({api_reads} concurrent API reads)"
+    ));
+
     // Info-only: how much slower corrupted input parses than clean input,
     // and how much faster a store reopen is than cold text ingest (the
     // acceptance target for the segment store is ≥ 10×).
@@ -408,6 +644,11 @@ pub fn run_matrix(
     } else {
         0.0
     };
+    let fleetd_overhead_pct = if ingest_loaded_median > 0.0 {
+        (ingest_quiet_median / ingest_loaded_median - 1.0) * 100.0
+    } else {
+        0.0
+    };
 
     BenchReport {
         schema_version: SCHEMA_VERSION,
@@ -418,6 +659,10 @@ pub fn run_matrix(
         info: vec![
             ("chaos_overhead_pct".to_string(), overhead_pct),
             ("store_open_speedup_x".to_string(), open_speedup),
+            (
+                "fleetd_ingest_overhead_pct".to_string(),
+                fleetd_overhead_pct,
+            ),
         ],
     }
 }
@@ -827,12 +1072,18 @@ mod tests {
                 "store.open",
                 "store.query.cold",
                 "stream.replay",
-                "chaos.ingest"
+                "chaos.ingest",
+                "fleetd.api.report",
+                "fleetd.api.window"
             ]
         );
         assert!(report.measurements.iter().all(|m| m.median > 0.0));
         assert!(report.info.iter().any(|(k, _)| k == "chaos_overhead_pct"));
         assert!(report.info.iter().any(|(k, _)| k == "store_open_speedup_x"));
+        assert!(report
+            .info
+            .iter()
+            .any(|(k, _)| k == "fleetd_ingest_overhead_pct"));
         // And a self-gate at any tolerance passes.
         let rows = gate(&report, &report, 0.1);
         assert!(rows.iter().all(|r| !r.regressed));

@@ -219,6 +219,39 @@ proptest! {
         std::fs::remove_dir_all(&dir).ok();
     }
 
+    /// `Store::load_range(t0, t1)` must agree exactly with the brute
+    /// force — full `load` followed by an inclusive time filter — for
+    /// arbitrary soups and arbitrary ranges, including empty, disjoint
+    /// and inverted ones. This is the contract that lets fleetd's
+    /// cold-start backfill trust the pruned path.
+    #[test]
+    fn load_range_equals_full_load_then_filter(
+        events in event_soup(),
+        a in 0u64..220_000_000u64,
+        b in 0u64..220_000_000u64,
+    ) {
+        let d = Diagnosis::from_events(events, 0, DiagnosisConfig::default());
+        let dir = tmpdir("lr");
+        save(&d, &dir);
+
+        let (from, to) = (SimTime::from_millis(a), SimTime::from_millis(b));
+        let store = segment::Store::open(&dir).expect("open");
+        let ranged = store.load_range(from, to).expect("load_range");
+        // Second query on the same handle: the borrow-based API allows it.
+        let ranged_again = store.load_range(from, to).expect("load_range again");
+        prop_assert_eq!(&ranged, &ranged_again);
+
+        let full = store.load().expect("load");
+        let filtered: Vec<_> = full
+            .events
+            .into_iter()
+            .filter(|e| e.time >= from && e.time <= to)
+            .collect();
+        prop_assert_eq!(ranged, filtered);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
     /// Any single-byte flip or truncation anywhere in the store either
     /// fails with a clean [`segment::OpenError`] or (for the few bytes the
     /// fingerprint does not cover, e.g. the free-text source label) still

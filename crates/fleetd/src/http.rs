@@ -1,0 +1,410 @@
+//! Minimal HTTP/1.1 request parsing and response serialisation.
+//!
+//! The environment is offline — no tokio, no hyper — so fleetd speaks
+//! exactly the slice of HTTP/1.1 its read path needs, over `std::net`
+//! blocking sockets: `GET`/`HEAD`, keep-alive with pipelining, and a
+//! fixed set of error codes. The parser is incremental: feed it the
+//! buffered bytes of a connection and it either consumes one complete
+//! request, asks for more bytes, or condemns the connection with a
+//! status code. All limits are enforced *while* parsing, so a hostile
+//! peer cannot make the buffer grow past [`MAX_HEAD_BYTES`] + one read.
+//!
+//! No request body is ever accepted: the API is read-only, and a
+//! `Content-Length`/`Transfer-Encoding` header is a parse error (411/400)
+//! rather than a body we would have to drain.
+
+use std::fmt::Write as _;
+
+/// Longest accepted request line (method + target + version), bytes.
+pub const MAX_REQUEST_LINE: usize = 8 * 1024;
+
+/// Longest accepted header section (request line + all headers), bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Most headers accepted per request.
+pub const MAX_HEADERS: usize = 64;
+
+/// One parsed request head.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// `GET` or `HEAD` (anything else is rejected with 405).
+    pub method: Method,
+    /// Request target as sent (path + optional query, query ignored).
+    pub path: String,
+    /// Header name/value pairs, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Whether the connection may serve another request after this one.
+    pub keep_alive: bool,
+}
+
+/// Accepted request methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Full response.
+    Get,
+    /// Headers only; the body is computed but not written.
+    Head,
+}
+
+impl Request {
+    /// First value of header `name` (lower-case), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Outcome of one parse attempt over a connection buffer.
+#[derive(Debug, PartialEq)]
+pub enum Parse {
+    /// One complete request, consuming the first `usize` buffered bytes.
+    Complete(Request, usize),
+    /// No complete head yet — read more bytes and retry.
+    Partial,
+    /// The bytes cannot become a servable request; respond with this
+    /// status and close. The `&str` names the reason for the error body.
+    Error(u16, &'static str),
+}
+
+/// Parses at most one request head from the front of `buf`.
+pub fn parse_request(buf: &[u8]) -> Parse {
+    // Find the end of the head ("\r\n\r\n"), enforcing limits on the way.
+    let head_end = match find_head_end(buf) {
+        Some(end) => end,
+        None => {
+            // No terminator yet. Over-limit partials are already fatal.
+            if first_line_len(buf) > MAX_REQUEST_LINE {
+                return Parse::Error(431, "request line too long");
+            }
+            if buf.len() > MAX_HEAD_BYTES {
+                return Parse::Error(431, "request header section too large");
+            }
+            return Parse::Partial;
+        }
+    };
+    if head_end > MAX_HEAD_BYTES {
+        return Parse::Error(431, "request header section too large");
+    }
+    let head = match std::str::from_utf8(&buf[..head_end]) {
+        Ok(h) => h,
+        Err(_) => return Parse::Error(400, "request head is not valid UTF-8"),
+    };
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    if request_line.len() > MAX_REQUEST_LINE {
+        return Parse::Error(431, "request line too long");
+    }
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => return Parse::Error(400, "malformed request line"),
+    };
+    let method = match method {
+        "GET" => Method::Get,
+        "HEAD" => Method::Head,
+        // Anything token-shaped but unsupported: 405 with Allow.
+        m if m.chars().all(|c| c.is_ascii_uppercase()) && !m.is_empty() => {
+            return Parse::Error(405, "method not allowed")
+        }
+        _ => return Parse::Error(400, "malformed request line"),
+    };
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        _ => return Parse::Error(505, "unsupported HTTP version"),
+    };
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Parse::Error(431, "too many headers");
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Parse::Error(400, "malformed header line");
+        };
+        if name.is_empty() || name.contains(' ') || name.contains('\t') {
+            return Parse::Error(400, "malformed header name");
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let req = Request {
+        keep_alive: keep_alive(http11, &headers),
+        method,
+        path: target.split('?').next().unwrap_or("").to_string(),
+        headers,
+    };
+    if req.header("content-length").is_some_and(|v| v != "0")
+        || req.header("transfer-encoding").is_some()
+    {
+        return Parse::Error(411, "request bodies are not accepted");
+    }
+    Parse::Complete(req, head_end)
+}
+
+/// Index just past the `\r\n\r\n` head terminator, if buffered.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+}
+
+/// Length of the first line currently buffered (capped by buffer end).
+fn first_line_len(buf: &[u8]) -> usize {
+    buf.iter().position(|&b| b == b'\n').unwrap_or(buf.len())
+}
+
+fn keep_alive(http11: bool, headers: &[(String, String)]) -> bool {
+    let conn = headers
+        .iter()
+        .find(|(k, _)| k == "connection")
+        .map(|(_, v)| v.to_ascii_lowercase());
+    match conn.as_deref() {
+        Some("close") => false,
+        Some("keep-alive") => true,
+        _ => http11,
+    }
+}
+
+/// One response ready for serialisation.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` of the body.
+    pub content_type: &'static str,
+    /// Extra headers (e.g. `ETag`, `Retry-After`).
+    pub extra_headers: Vec<(String, String)>,
+    /// Response body; suppressed on `HEAD` and 304 (length still sent).
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            extra_headers: Vec::new(),
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            extra_headers: Vec::new(),
+            body: body.into_bytes(),
+        }
+    }
+
+    /// The error shape every non-2xx path uses: `{"error": "..."}`.
+    pub fn error(status: u16, reason: &str) -> Response {
+        let mut r = Response::json(
+            status,
+            format!("{{\"error\":\"{}\"}}", reason.replace('"', "'")),
+        );
+        if status == 405 {
+            r.extra_headers
+                .push(("Allow".to_string(), "GET, HEAD".to_string()));
+        }
+        if status == 503 {
+            r.extra_headers
+                .push(("Retry-After".to_string(), "1".to_string()));
+        }
+        r
+    }
+
+    /// Serialises status line, headers and (unless suppressed) the body.
+    pub fn write_to(&self, head_only: bool) -> Vec<u8> {
+        let mut head = String::with_capacity(256);
+        let _ = write!(
+            head,
+            "HTTP/1.1 {} {}\r\n",
+            self.status,
+            status_text(self.status)
+        );
+        let _ = write!(head, "Content-Type: {}\r\n", self.content_type);
+        let _ = write!(head, "Content-Length: {}\r\n", self.body.len());
+        for (k, v) in &self.extra_headers {
+            let _ = write!(head, "{k}: {v}\r\n");
+        }
+        head.push_str("\r\n");
+        let mut out = head.into_bytes();
+        if !head_only && self.status != 304 {
+            out.extend_from_slice(&self.body);
+        }
+        out
+    }
+}
+
+/// Reason phrase for the status codes fleetd emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        304 => "Not Modified",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        411 => "Length Required",
+        431 => "Request Header Fields Too Large",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Response",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Parse {
+        parse_request(s.as_bytes())
+    }
+
+    #[test]
+    fn complete_get_parses_with_keep_alive_default() {
+        let raw = "GET /v1/systems HTTP/1.1\r\nHost: x\r\n\r\n";
+        match parse(raw) {
+            Parse::Complete(req, consumed) => {
+                assert_eq!(req.method, Method::Get);
+                assert_eq!(req.path, "/v1/systems");
+                assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+                assert_eq!(consumed, raw.len());
+                assert_eq!(req.header("host"), Some("x"));
+            }
+            other => panic!("want Complete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn torn_headers_stay_partial_until_the_blank_line_arrives() {
+        // Every prefix of a valid request must parse as Partial — the
+        // tearing can land anywhere, including mid-header-name.
+        let raw = "GET /v1/systems/S1/window HTTP/1.1\r\nHost: fleet\r\nAccept: */*\r\n\r\n";
+        for cut in 0..raw.len() {
+            let got = parse(&raw[..cut]);
+            assert_eq!(got, Parse::Partial, "prefix of {cut} bytes");
+        }
+        assert!(matches!(parse(raw), Parse::Complete(_, _)));
+    }
+
+    #[test]
+    fn oversized_request_line_is_431_even_unterminated() {
+        // The limit applies while the line is still arriving: a peer
+        // cannot stall in Partial forever by never sending the newline.
+        let raw = format!("GET /{} ", "x".repeat(MAX_REQUEST_LINE));
+        assert_eq!(parse(&raw), Parse::Error(431, "request line too long"));
+        let terminated = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(MAX_REQUEST_LINE));
+        assert_eq!(
+            parse(&terminated),
+            Parse::Error(431, "request line too long")
+        );
+    }
+
+    #[test]
+    fn oversized_header_section_is_431() {
+        let raw = format!(
+            "GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
+            "y".repeat(MAX_HEAD_BYTES)
+        );
+        assert!(matches!(parse(&raw), Parse::Error(431, _)));
+        // Also while unterminated.
+        let partial = format!("GET / HTTP/1.1\r\nX-Pad: {}", "y".repeat(MAX_HEAD_BYTES));
+        assert!(matches!(parse(&partial), Parse::Error(431, _)));
+    }
+
+    #[test]
+    fn too_many_headers_is_431() {
+        let mut raw = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..=MAX_HEADERS {
+            raw.push_str(&format!("X-H{i}: v\r\n"));
+        }
+        raw.push_str("\r\n");
+        assert_eq!(parse(&raw), Parse::Error(431, "too many headers"));
+    }
+
+    #[test]
+    fn bad_method_is_405_and_garbage_is_400() {
+        assert_eq!(
+            parse("POST /v1/systems HTTP/1.1\r\n\r\n"),
+            Parse::Error(405, "method not allowed")
+        );
+        assert_eq!(
+            parse("DELETE / HTTP/1.1\r\n\r\n"),
+            Parse::Error(405, "method not allowed")
+        );
+        assert!(matches!(
+            parse("g3t / HTTP/1.1\r\n\r\n"),
+            Parse::Error(400, _)
+        ));
+        assert!(matches!(parse("\r\n\r\n"), Parse::Error(400, _)));
+    }
+
+    #[test]
+    fn requests_with_bodies_are_rejected() {
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nContent-Length: 5\r\n\r\n"),
+            Parse::Error(411, _)
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Parse::Error(411, _)
+        ));
+    }
+
+    #[test]
+    fn pipelined_requests_consume_one_head_at_a_time() {
+        let raw = "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let buf = raw.as_bytes();
+        let Parse::Complete(first, used) = parse_request(buf) else {
+            panic!("first request must parse");
+        };
+        assert_eq!(first.path, "/a");
+        assert!(first.keep_alive);
+        let Parse::Complete(second, used2) = parse_request(&buf[used..]) else {
+            panic!("second request must parse");
+        };
+        assert_eq!(second.path, "/b");
+        assert!(!second.keep_alive, "Connection: close wins");
+        assert_eq!(used + used2, raw.len());
+    }
+
+    #[test]
+    fn http10_defaults_to_close_and_query_strings_are_stripped() {
+        let Parse::Complete(req, _) = parse("GET /v1/systems?x=1 HTTP/1.0\r\n\r\n") else {
+            panic!("must parse");
+        };
+        assert!(!req.keep_alive);
+        assert_eq!(req.path, "/v1/systems");
+    }
+
+    #[test]
+    fn response_serialises_with_status_text_and_suppresses_head_bodies() {
+        let r = Response::json(200, "{\"ok\":true}".to_string());
+        let full = r.write_to(false);
+        let text = String::from_utf8(full).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.ends_with("{\"ok\":true}"));
+
+        let head = String::from_utf8(r.write_to(true)).unwrap();
+        assert!(head.contains("Content-Length: 11\r\n"));
+        assert!(head.ends_with("\r\n\r\n"), "no body on HEAD");
+    }
+
+    #[test]
+    fn error_responses_carry_allow_and_retry_after() {
+        let m = Response::error(405, "method not allowed");
+        let text = String::from_utf8(m.write_to(false)).unwrap();
+        assert!(text.contains("Allow: GET, HEAD\r\n"));
+        let busy = Response::error(503, "server busy");
+        let text = String::from_utf8(busy.write_to(false)).unwrap();
+        assert!(text.contains("Retry-After: 1\r\n"));
+    }
+}

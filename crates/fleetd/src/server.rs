@@ -1,0 +1,415 @@
+//! Threaded HTTP/1.1 server over `std::net`: acceptor, bounded worker
+//! pool, routing, backpressure, graceful drain.
+//!
+//! ```text
+//! acceptor thread ──► bounded sync_channel ──► N worker threads
+//!      │ (nonblocking accept,   │ (queue full = deliberate          │
+//!      │  polls the shutdown    │  backpressure: the acceptor       │
+//!      │  flag between polls)   │  answers 503 + Retry-After        │
+//!      │                        │  itself and drops the socket)     ▼
+//!      ▼                        ▼                        parse → route → respond
+//! ```
+//!
+//! Every connection gets read/write timeouts, so a stalled peer ties up
+//! one worker for at most one timeout, never forever. Responses are
+//! fully materialised before the first byte is written (they are small
+//! by construction — the largest is a cached report), so the write
+//! buffer is bounded and a slow consumer can only slow its own socket.
+//!
+//! Graceful drain: when the shutdown flag flips, the acceptor stops
+//! accepting and closes the queue; workers finish the connections they
+//! hold (capped by the keep-alive request budget and socket timeouts)
+//! and exit; [`ServerHandle::join`] returns. No in-flight response is
+//! abandoned.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use hpc_telemetry::json::JsonValue;
+
+use crate::http::{parse_request, Method, Parse, Request, Response, MAX_HEAD_BYTES};
+use crate::snapshot::SnapshotSlot;
+
+/// Most requests served over one keep-alive connection before the server
+/// closes it — bounds how long a drain can take.
+const MAX_REQUESTS_PER_CONNECTION: usize = 1024;
+
+/// Server tuning; the defaults suit a diagnosis sidecar.
+pub struct ServerConfig {
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Accepted-but-unhandled connections the queue holds before the
+    /// acceptor starts shedding load with 503s.
+    pub queue: usize,
+    /// Per-connection socket read timeout.
+    pub read_timeout: Duration,
+    /// Per-connection socket write timeout.
+    pub write_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 4,
+            queue: 64,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// The systems the server serves: `(name, slot)` pairs, name order is
+/// listing order.
+pub struct Fleet {
+    systems: Vec<(String, Arc<SnapshotSlot>)>,
+}
+
+impl Fleet {
+    /// A fleet over the given `(name, slot)` pairs.
+    pub fn new(systems: Vec<(String, Arc<SnapshotSlot>)>) -> Fleet {
+        hpc_telemetry::gauge("fleetd.shards").set(systems.len() as f64);
+        Fleet { systems }
+    }
+
+    fn slot(&self, name: &str) -> Option<&Arc<SnapshotSlot>> {
+        self.systems.iter().find(|(n, _)| n == name).map(|(_, s)| s)
+    }
+}
+
+/// A running server; join it after flipping the shutdown flag.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    acceptor: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Waits for the acceptor and every worker to exit.
+    pub fn join(self) {
+        let _ = self.acceptor.join();
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Starts the acceptor and worker threads over an already-bound
+/// listener. The server runs until `shutdown` flips to true.
+pub fn serve(
+    listener: TcpListener,
+    fleet: Fleet,
+    config: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+) -> std::io::Result<ServerHandle> {
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let fleet = Arc::new(fleet);
+    let (tx, rx) = mpsc::sync_channel::<TcpStream>(config.queue.max(1));
+    let rx = Arc::new(Mutex::new(rx));
+
+    let mut workers = Vec::with_capacity(config.workers.max(1));
+    for i in 0..config.workers.max(1) {
+        let rx = Arc::clone(&rx);
+        let fleet = Arc::clone(&fleet);
+        let shutdown = Arc::clone(&shutdown);
+        let (rt, wt) = (config.read_timeout, config.write_timeout);
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("fleetd-worker-{i}"))
+                .spawn(move || worker_loop(rx, fleet, rt, wt, shutdown))?,
+        );
+    }
+
+    let write_timeout = config.write_timeout;
+    let acceptor = std::thread::Builder::new()
+        .name("fleetd-acceptor".to_string())
+        .spawn(move || acceptor_loop(listener, tx, write_timeout, shutdown))?;
+
+    Ok(ServerHandle {
+        addr,
+        acceptor,
+        workers,
+    })
+}
+
+fn acceptor_loop(
+    listener: TcpListener,
+    tx: SyncSender<TcpStream>,
+    write_timeout: Duration,
+    shutdown: Arc<AtomicBool>,
+) {
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                hpc_telemetry::counter("fleetd.http.connections").inc();
+                match tx.try_send(stream) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(stream)) => {
+                        // Deliberate backpressure: shed load here, at the
+                        // edge, instead of queueing without bound.
+                        hpc_telemetry::counter("fleetd.http.rejected").inc();
+                        let _ = stream.set_write_timeout(Some(write_timeout));
+                        let resp = Response::error(503, "server busy");
+                        let mut s = stream;
+                        let _ = s.write_all(&resp.write_to(false));
+                    }
+                    Err(TrySendError::Disconnected(_)) => break,
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    // Dropping `tx` closes the queue: workers drain what was accepted
+    // and then see Disconnected.
+}
+
+fn worker_loop(
+    rx: Arc<Mutex<Receiver<TcpStream>>>,
+    fleet: Arc<Fleet>,
+    read_timeout: Duration,
+    write_timeout: Duration,
+    shutdown: Arc<AtomicBool>,
+) {
+    loop {
+        // Hold the lock only while dequeueing, never while serving.
+        let stream = {
+            let rx = rx.lock().unwrap();
+            rx.recv_timeout(Duration::from_millis(100))
+        };
+        match stream {
+            Ok(stream) => handle_connection(stream, &fleet, read_timeout, write_timeout, &shutdown),
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    // Keep draining until the queue is closed *and* empty;
+                    // the next recv sees Disconnected once it is.
+                    continue;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+}
+
+/// Serves one connection: pipelined keep-alive requests until close,
+/// error, request budget, or shutdown.
+fn handle_connection(
+    mut stream: TcpStream,
+    fleet: &Fleet,
+    read_timeout: Duration,
+    write_timeout: Duration,
+    shutdown: &AtomicBool,
+) {
+    let _ = stream.set_read_timeout(Some(read_timeout));
+    let _ = stream.set_write_timeout(Some(write_timeout));
+    let _ = stream.set_nodelay(true);
+
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let mut served = 0usize;
+
+    loop {
+        // Serve every complete pipelined request already buffered.
+        loop {
+            match parse_request(&buf) {
+                Parse::Complete(req, consumed) => {
+                    buf.drain(..consumed);
+                    served += 1;
+                    let started = Instant::now();
+                    let resp = route(&req, fleet);
+                    let class = resp.status / 100;
+                    hpc_telemetry::counter("fleetd.http.requests").inc();
+                    hpc_telemetry::counter(&format!("fleetd.http.responses.{class}xx")).inc();
+                    hpc_telemetry::histogram("fleetd.http.request_micros")
+                        .record(started.elapsed().as_micros() as u64);
+                    let bytes = resp.write_to(req.method == Method::Head);
+                    hpc_telemetry::counter("fleetd.http.bytes.written").add(bytes.len() as u64);
+                    if stream.write_all(&bytes).is_err() {
+                        return;
+                    }
+                    let close = !req.keep_alive
+                        || served >= MAX_REQUESTS_PER_CONNECTION
+                        || shutdown.load(Ordering::SeqCst);
+                    if close {
+                        let _ = stream.flush();
+                        return;
+                    }
+                }
+                Parse::Partial => break,
+                Parse::Error(status, reason) => {
+                    hpc_telemetry::counter("fleetd.http.requests").inc();
+                    hpc_telemetry::counter("fleetd.http.parse_errors").inc();
+                    hpc_telemetry::counter(&format!("fleetd.http.responses.{}xx", status / 100))
+                        .inc();
+                    let resp = Response::error(status, reason);
+                    let _ = stream.write_all(&resp.write_to(false));
+                    return;
+                }
+            }
+        }
+
+        if buf.len() > MAX_HEAD_BYTES {
+            // parse_request would have condemned it already; belt-and-braces.
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // peer closed
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return; // idle past the read timeout
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Maps one request to its response. Pure: no I/O beyond snapshot reads.
+pub fn route(req: &Request, fleet: &Fleet) -> Response {
+    let path = req.path.as_str();
+    if path == "/metrics" {
+        return Response::json(200, hpc_telemetry::snapshot().to_json());
+    }
+    if path == "/v1/systems" || path == "/v1/systems/" {
+        let systems: Vec<JsonValue> = fleet
+            .systems
+            .iter()
+            .map(|(_, slot)| slot.read().summary_json())
+            .collect();
+        return Response::json(
+            200,
+            JsonValue::Object(vec![
+                ("systems".to_string(), JsonValue::Array(systems)),
+                (
+                    "count".to_string(),
+                    JsonValue::Number(fleet.systems.len() as f64),
+                ),
+            ])
+            .to_string(),
+        );
+    }
+    let Some(rest) = path.strip_prefix("/v1/systems/") else {
+        return Response::error(404, "no such resource");
+    };
+    let (id, verb) = match rest.split_once('/') {
+        Some((id, verb)) => (id, verb),
+        None => (rest, ""),
+    };
+    let Some(slot) = fleet.slot(id) else {
+        return Response::error(404, "no such system");
+    };
+    let snap = slot.read();
+    match verb {
+        "" => Response::json(200, snap.summary_json().to_string()),
+        "window" => Response::json(200, snap.window_json().to_string()),
+        "alerts" => Response::json(200, snap.alerts_json().to_string()),
+        "failures" => Response::json(200, snap.failures_json().to_string()),
+        "report" => {
+            let etag = snap.etag();
+            if req.header("if-none-match").is_some_and(|v| v == etag) {
+                hpc_telemetry::counter("fleetd.report.not_modified").inc();
+                let mut r = Response::text(304, String::new());
+                r.extra_headers.push(("ETag".to_string(), etag));
+                return r;
+            }
+            let mut r = Response::text(200, snap.report().to_string());
+            r.extra_headers.push(("ETag".to_string(), etag));
+            r
+        }
+        _ => Response::error(404, "no such resource"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::Method;
+
+    fn req(path: &str) -> Request {
+        Request {
+            method: Method::Get,
+            path: path.to_string(),
+            headers: Vec::new(),
+            keep_alive: true,
+        }
+    }
+
+    fn fleet() -> Fleet {
+        Fleet::new(vec![
+            ("S1".to_string(), Arc::new(SnapshotSlot::new("S1"))),
+            ("S2".to_string(), Arc::new(SnapshotSlot::new("S2"))),
+        ])
+    }
+
+    #[test]
+    fn routes_resolve_and_unknowns_404() {
+        let f = fleet();
+        assert_eq!(route(&req("/v1/systems"), &f).status, 200);
+        assert_eq!(route(&req("/v1/systems/S1"), &f).status, 200);
+        assert_eq!(route(&req("/v1/systems/S1/window"), &f).status, 200);
+        assert_eq!(route(&req("/v1/systems/S2/alerts"), &f).status, 200);
+        assert_eq!(route(&req("/v1/systems/S2/failures"), &f).status, 200);
+        assert_eq!(route(&req("/v1/systems/S1/report"), &f).status, 200);
+        assert_eq!(route(&req("/metrics"), &f).status, 200);
+        assert_eq!(route(&req("/v1/systems/S3/window"), &f).status, 404);
+        assert_eq!(route(&req("/v1/systems/S1/nope"), &f).status, 404);
+        assert_eq!(route(&req("/nope"), &f).status, 404);
+    }
+
+    #[test]
+    fn report_etag_round_trips_to_304() {
+        let f = fleet();
+        let first = route(&req("/v1/systems/S1/report"), &f);
+        assert_eq!(first.status, 200);
+        let etag = first
+            .extra_headers
+            .iter()
+            .find(|(k, _)| k == "ETag")
+            .map(|(_, v)| v.clone())
+            .expect("report carries an ETag");
+
+        let mut conditional = req("/v1/systems/S1/report");
+        conditional
+            .headers
+            .push(("if-none-match".to_string(), etag.clone()));
+        let second = route(&conditional, &f);
+        assert_eq!(second.status, 304);
+
+        // A different generation misses the cache.
+        let mut stale = req("/v1/systems/S1/report");
+        stale
+            .headers
+            .push(("if-none-match".to_string(), "\"S1-g999\"".to_string()));
+        assert_eq!(route(&stale, &f).status, 200);
+    }
+
+    #[test]
+    fn systems_listing_counts_both_shards() {
+        let f = fleet();
+        let resp = route(&req("/v1/systems"), &f);
+        let body = String::from_utf8(resp.body).unwrap();
+        let v = hpc_telemetry::json::parse(&body).unwrap();
+        assert_eq!(v.get("count").unwrap().as_number(), Some(2.0));
+        assert_eq!(
+            v.get("systems")
+                .and_then(JsonValue::as_array)
+                .unwrap()
+                .len(),
+            2
+        );
+    }
+}

@@ -1,0 +1,340 @@
+//! One shard = one system = one `StreamEngine` on its own thread.
+//!
+//! The supervisor spawns a shard per `--system`/`--replay`/`--stdin`
+//! flag. Each shard owns its engine exclusively — no shared mutable
+//! engine state exists anywhere — and exports state solely by publishing
+//! immutable [`SystemSnapshot`]s into its [`SnapshotSlot`]. Publishing is
+//! change-driven: a snapshot (and with it the generation, and with *it*
+//! the `/report` ETag) is produced only when the observable state
+//! actually moved, so an idle system costs neither renders nor cache
+//! invalidations.
+//!
+//! Cold start can pre-warm a shard from a PR 8 segment store
+//! (`--backfill NAME=STOREDIR[,t0_ms,t1_ms]`): the store is opened and
+//! range-pruned via `Store::load_range`, the selected events re-rendered
+//! to log lines, and those fed through the normal ingest path before the
+//! live feed starts — the engine cannot tell backfill from tail.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use hpc_diagnosis::detection::DetectedFailure;
+use hpc_diagnosis::prediction::Alert;
+use hpc_diagnosis::segment::Store;
+use hpc_logs::event::LogSource;
+use hpc_logs::parse::guess_source;
+use hpc_logs::render::render_into;
+use hpc_logs::time::{SimDuration, SimTime};
+use hpc_platform::NodeId;
+use hpc_stream::{AlertSink, FollowDir, StreamConfig, StreamEngine};
+
+use crate::snapshot::{SnapshotSlot, SystemSnapshot};
+
+/// Achieved lead times the shard retains for `/failures` annotation.
+const MAX_LEADS: usize = 4096;
+
+/// Where a shard's log lines come from.
+pub enum Feed {
+    /// Tail the archive directory like `hpc-watch --follow`.
+    Follow(PathBuf),
+    /// Read the archive directory once, drain, and mark finished —
+    /// deterministic, for CI/bench/tests.
+    Replay(PathBuf),
+    /// Lines delivered by the supervisor (stdin routing).
+    Lines(mpsc::Receiver<String>),
+}
+
+/// Optional cold-start backfill from a segment store directory.
+pub struct BackfillSpec {
+    /// Store directory (written by `hpc-diagnose --save-store`).
+    pub store: PathBuf,
+    /// Inclusive lower bound; unset means from the beginning.
+    pub from: Option<SimTime>,
+    /// Inclusive upper bound; unset means to the end.
+    pub to: Option<SimTime>,
+}
+
+/// Everything needed to spawn one shard.
+pub struct ShardConfig {
+    /// System name (`S1`, …) — the `{id}` in `/v1/systems/{id}/...`.
+    pub name: String,
+    /// Line source.
+    pub feed: Feed,
+    /// Engine configuration (watermark, window, predictor).
+    pub stream: StreamConfig,
+    /// Idle poll interval for follow/lines feeds.
+    pub poll: Duration,
+    /// Cold-start backfill, fed before the live feed.
+    pub backfill: Option<BackfillSpec>,
+}
+
+/// A running shard: its name, its snapshot slot, and its thread.
+pub struct ShardHandle {
+    /// System name.
+    pub name: String,
+    /// Slot the shard publishes into; share with the HTTP server.
+    pub slot: Arc<SnapshotSlot>,
+    join: JoinHandle<()>,
+}
+
+impl ShardHandle {
+    /// Waits for the shard thread to drain and exit.
+    pub fn join(self) {
+        let _ = self.join.join();
+    }
+}
+
+/// Records achieved lead times as failures finalize, so snapshots can
+/// annotate `/failures` records exactly like `--alerts-jsonl` does.
+struct LeadSink {
+    leads: Arc<Mutex<Vec<(NodeId, SimTime, SimDuration)>>>,
+}
+
+impl AlertSink for LeadSink {
+    fn alert(&mut self, _alert: &Alert) {}
+
+    fn failure(&mut self, failure: &DetectedFailure, lead: Option<SimDuration>) {
+        if let Some(lead) = lead {
+            let mut leads = self.leads.lock().unwrap();
+            if leads.len() >= MAX_LEADS {
+                leads.drain(..MAX_LEADS / 2);
+            }
+            leads.push((failure.node, failure.time, lead));
+        }
+    }
+
+    fn flush(&mut self) {}
+}
+
+/// Spawns the shard thread. Backfill stores are opened and validated
+/// *before* the thread starts, so a bad `--backfill` flag fails fast at
+/// startup instead of surfacing as a mysteriously empty system.
+pub fn spawn(config: ShardConfig, shutdown: Arc<AtomicBool>) -> Result<ShardHandle, String> {
+    let backfill_lines = match &config.backfill {
+        Some(spec) => Some(load_backfill(spec)?),
+        None => None,
+    };
+    let slot = Arc::new(SnapshotSlot::new(&config.name));
+    let thread_slot = Arc::clone(&slot);
+    let name = config.name.clone();
+    let join = std::thread::Builder::new()
+        .name(format!("shard-{}", config.name))
+        .spawn(move || run_shard(config, backfill_lines, thread_slot, shutdown))
+        .map_err(|e| format!("cannot spawn shard thread: {e}"))?;
+    hpc_telemetry::counter("fleetd.shards.spawned").inc();
+    Ok(ShardHandle { name, slot, join })
+}
+
+/// Opens the backfill store, prunes to the requested range, and
+/// re-renders the selected events as `(source, line)` pairs in global
+/// merge order.
+fn load_backfill(spec: &BackfillSpec) -> Result<Vec<(LogSource, String)>, String> {
+    let store = Store::open(&spec.store).map_err(|e| e.to_string())?;
+    let scheduler = store.manifest().scheduler;
+    let from = spec.from.unwrap_or(SimTime::EPOCH);
+    let to = spec.to.unwrap_or(SimTime::from_millis(u64::MAX));
+    let events = store.load_range(from, to).map_err(|e| e.to_string())?;
+    let mut lines = Vec::with_capacity(events.len());
+    let mut scratch = Vec::new();
+    for e in &events {
+        render_into(e, scheduler, &mut scratch);
+        let source = e.source();
+        lines.extend(scratch.drain(..).map(|l| (source, l)));
+    }
+    hpc_telemetry::counter("fleetd.backfill.events").add(events.len() as u64);
+    Ok(lines)
+}
+
+/// Digest of the observable state; a snapshot is published exactly when
+/// this changes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+struct StateKey {
+    lines: u64,
+    skipped: u64,
+    events: u64,
+    late: u64,
+    alerts: u64,
+    failures: u64,
+    expired: u64,
+    outstanding: usize,
+    window_events: usize,
+    window_evicted: u64,
+    merger_buffered: usize,
+    watermark_lag_ms: u64,
+    quarantined: Vec<LogSource>,
+    finished: bool,
+}
+
+impl StateKey {
+    fn of(engine: &StreamEngine, follow: Option<&FollowDir>, finished: bool) -> StateKey {
+        let s = engine.stats();
+        StateKey {
+            lines: s.lines,
+            skipped: s.skipped_lines,
+            events: s.events,
+            late: s.late_events,
+            alerts: s.alerts,
+            failures: s.failures,
+            expired: s.expired_alerts,
+            outstanding: engine.outstanding_alerts(),
+            window_events: s.window_events,
+            window_evicted: s.window_evicted,
+            merger_buffered: s.merger_buffered,
+            watermark_lag_ms: s.watermark_lag.as_millis(),
+            quarantined: follow
+                .map(FollowDir::quarantined_sources)
+                .unwrap_or_default(),
+            finished,
+        }
+    }
+}
+
+fn run_shard(
+    config: ShardConfig,
+    backfill: Option<Vec<(LogSource, String)>>,
+    slot: Arc<SnapshotSlot>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let leads = Arc::new(Mutex::new(Vec::new()));
+    let mut engine = StreamEngine::new(config.stream);
+    engine.add_sink(Box::new(LeadSink {
+        leads: Arc::clone(&leads),
+    }));
+
+    let mut generation = 0u64;
+    let mut last_key = StateKey::default();
+    let mut publish = |engine: &StreamEngine, follow: Option<&FollowDir>, finished: bool| {
+        let key = StateKey::of(engine, follow, finished);
+        if key == last_key {
+            return;
+        }
+        last_key = key;
+        generation += 1;
+        let leads = leads.lock().unwrap().clone();
+        slot.publish(SystemSnapshot::capture(
+            &config.name,
+            generation,
+            finished,
+            engine,
+            follow.map(FollowDir::health),
+            &leads,
+        ));
+    };
+
+    if let Some(lines) = backfill {
+        for (source, line) in &lines {
+            engine.push_line(*source, line);
+        }
+        publish(&engine, None, false);
+    }
+
+    match config.feed {
+        Feed::Replay(dir) => {
+            let mut follow = FollowDir::new(&dir);
+            // A static archive is fully consumed by the first poll; keep
+            // polling until a pass feeds nothing, then drain.
+            while follow.poll_into(&mut engine) > 0 && !shutdown.load(Ordering::SeqCst) {
+                publish(&engine, Some(&follow), false);
+            }
+            engine.finish();
+            publish(&engine, Some(&follow), true);
+            // Stay resident — the snapshot keeps serving until shutdown.
+            while !shutdown.load(Ordering::SeqCst) {
+                std::thread::sleep(config.poll);
+            }
+        }
+        Feed::Follow(dir) => {
+            let mut follow = FollowDir::new(&dir);
+            while !shutdown.load(Ordering::SeqCst) {
+                let fed = follow.poll_into(&mut engine);
+                publish(&engine, Some(&follow), false);
+                if fed == 0 {
+                    std::thread::sleep(config.poll);
+                }
+            }
+            engine.finish();
+            publish(&engine, Some(&follow), true);
+        }
+        Feed::Lines(rx) => {
+            loop {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                match rx.recv_timeout(config.poll) {
+                    Ok(line) => {
+                        let source = guess_source(&line).unwrap_or(LogSource::Console);
+                        engine.push_line(source, &line);
+                    }
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        publish(&engine, None, false);
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                }
+            }
+            engine.finish();
+            publish(&engine, None, true);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_shard_drains_and_publishes_a_finished_snapshot() {
+        // An empty directory: the first poll feeds nothing, so the shard
+        // finishes immediately with a generation-1 empty-but-final state.
+        let dir = std::env::temp_dir().join(format!("fleetd-shard-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let handle = spawn(
+            ShardConfig {
+                name: "S9".to_string(),
+                feed: Feed::Replay(dir.clone()),
+                stream: StreamConfig::default(),
+                poll: Duration::from_millis(5),
+                backfill: None,
+            },
+            Arc::clone(&shutdown),
+        )
+        .unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while !handle.slot.read().finished {
+            assert!(std::time::Instant::now() < deadline, "shard never finished");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let snap = handle.slot.read();
+        assert_eq!(snap.system, "S9");
+        assert!(snap.finished);
+        shutdown.store(true, Ordering::SeqCst);
+        handle.join();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bad_backfill_store_fails_fast() {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let err = spawn(
+            ShardConfig {
+                name: "S1".to_string(),
+                feed: Feed::Replay(PathBuf::from("/nonexistent")),
+                stream: StreamConfig::default(),
+                poll: Duration::from_millis(5),
+                backfill: Some(BackfillSpec {
+                    store: PathBuf::from("/nonexistent/store"),
+                    from: None,
+                    to: None,
+                }),
+            },
+            shutdown,
+        )
+        .err()
+        .expect("must fail");
+        assert!(err.contains("cannot read"), "{err}");
+    }
+}

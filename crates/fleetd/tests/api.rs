@@ -1,0 +1,441 @@
+//! End-to-end API tests: a real `TcpListener`, real sockets, ≥2 systems.
+//!
+//! The acceptance contract for fleetd: serving two systems concurrently,
+//! the live `/window` and `/alerts` responses must equal the state an
+//! `hpc-watch`-equivalent local engine computes over the same replayed
+//! feed; the cached `/report` must 304 on an unchanged generation; and
+//! concurrent clients hammering `/v1/...` during live ingest must see no
+//! 5xx other than deliberate 503 backpressure, with every JSON body
+//! parsing.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hpc_faultsim::scenario::Scenario;
+use hpc_fleet::shard::{Feed, ShardConfig};
+use hpc_fleet::{serve, Fleet, ServerConfig};
+use hpc_logs::fs::save_archive;
+use hpc_platform::system::SystemId;
+use hpc_stream::{FollowDir, StreamConfig, StreamEngine};
+use hpc_telemetry::json::{self, JsonValue};
+
+fn tmpdir(tag: &str) -> PathBuf {
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("fleetd-api-{tag}-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Generates a small archive for `system` under `dir`.
+fn generate_feed(dir: &Path, system: SystemId, seed: u64) {
+    let out = Scenario::new(system, 1, 1, seed).run();
+    save_archive(&out.archive, dir).unwrap();
+}
+
+/// One blocking HTTP exchange; returns (status, headers, body).
+fn get(addr: std::net::SocketAddr, path: &str, extra: &str) -> (u16, String, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: fleet\r\n{extra}Connection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap();
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("response head")
+        + 4;
+    let head = std::str::from_utf8(&raw[..head_end]).unwrap().to_string();
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    (status, head, raw[head_end..].to_vec())
+}
+
+fn header<'a>(head: &'a str, name: &str) -> Option<&'a str> {
+    head.lines().find_map(|l| {
+        let (k, v) = l.split_once(':')?;
+        (k.eq_ignore_ascii_case(name)).then(|| v.trim())
+    })
+}
+
+/// Replays `dir` through a local engine exactly the way a replay shard
+/// does, returning the drained engine — the `hpc-watch` equivalent.
+fn local_replay(dir: &Path) -> StreamEngine {
+    let mut engine = StreamEngine::new(StreamConfig::default());
+    let mut follow = FollowDir::new(dir);
+    while follow.poll_into(&mut engine) > 0 {}
+    engine.finish();
+    engine
+}
+
+struct Server {
+    addr: std::net::SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    server: Option<hpc_fleet::ServerHandle>,
+    shards: Vec<hpc_fleet::ShardHandle>,
+}
+
+impl Server {
+    fn start(shard_configs: Vec<ShardConfig>, config: ServerConfig) -> Server {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let shards: Vec<_> = shard_configs
+            .into_iter()
+            .map(|c| hpc_fleet::spawn(c, Arc::clone(&shutdown)).expect("spawn shard"))
+            .collect();
+        let fleet = Fleet::new(
+            shards
+                .iter()
+                .map(|s| (s.name.clone(), Arc::clone(&s.slot)))
+                .collect(),
+        );
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let server = serve(listener, fleet, config, Arc::clone(&shutdown)).unwrap();
+        Server {
+            addr: server.addr(),
+            shutdown,
+            server: Some(server),
+            shards,
+        }
+    }
+
+    fn wait_all_finished(&self) {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while self.shards.iter().any(|s| !s.slot.read().finished) {
+            assert!(Instant::now() < deadline, "shards never drained");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    fn stop(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(s) = self.server.take() {
+            s.join();
+        }
+        for s in self.shards.drain(..) {
+            s.join();
+        }
+    }
+}
+
+fn replay_config(name: &str, dir: &Path) -> ShardConfig {
+    ShardConfig {
+        name: name.to_string(),
+        feed: Feed::Replay(dir.to_path_buf()),
+        stream: StreamConfig::default(),
+        poll: Duration::from_millis(10),
+        backfill: None,
+    }
+}
+
+#[test]
+fn two_systems_match_the_equivalent_watch_state() {
+    let d1 = tmpdir("s1");
+    let d2 = tmpdir("s2");
+    generate_feed(&d1, SystemId::S1, 42);
+    generate_feed(&d2, SystemId::S2, 43);
+
+    let srv = Server::start(
+        vec![replay_config("S1", &d1), replay_config("S2", &d2)],
+        ServerConfig::default(),
+    );
+    srv.wait_all_finished();
+
+    // The listing names both systems and both are finished.
+    let (status, _, body) = get(srv.addr, "/v1/systems", "");
+    assert_eq!(status, 200);
+    let v = json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    assert_eq!(v.get("count").unwrap().as_number(), Some(2.0));
+
+    for (name, dir) in [("S1", &d1), ("S2", &d2)] {
+        let engine = local_replay(dir);
+        let stats = engine.stats();
+
+        // /window equals the local engine's window state.
+        let (status, _, body) = get(srv.addr, &format!("/v1/systems/{name}/window"), "");
+        assert_eq!(status, 200);
+        let w = json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+        let num = |key: &str| w.get(key).unwrap().as_number().unwrap() as u64;
+        assert_eq!(
+            num("window_events"),
+            engine.window().retained_events() as u64
+        );
+        assert_eq!(num("window_peak"), engine.window().peak_retained() as u64);
+        assert_eq!(num("window_evicted"), engine.window().evicted());
+        assert_eq!(
+            num("symptomatic_nodes"),
+            engine.window().symptomatic_nodes() as u64
+        );
+
+        // /alerts equals the local engine's alert history, record by record.
+        let (status, _, body) = get(srv.addr, &format!("/v1/systems/{name}/alerts"), "");
+        assert_eq!(status, 200);
+        let a = json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+        assert_eq!(
+            a.get("total").unwrap().as_number(),
+            Some(stats.alerts as f64)
+        );
+        assert_eq!(
+            a.get("outstanding").unwrap().as_number(),
+            Some(engine.outstanding_alerts() as f64)
+        );
+        let records = a.get("alerts").and_then(JsonValue::as_array).unwrap();
+        let local = engine.alerts();
+        let tail = &local[local.len().saturating_sub(1024)..];
+        assert_eq!(records.len(), tail.len());
+        for (record, alert) in records.iter().zip(tail) {
+            assert_eq!(
+                record.get("time_ms").unwrap().as_number(),
+                Some(alert.time.as_millis() as f64)
+            );
+            assert_eq!(
+                record.get("cname").and_then(JsonValue::as_str),
+                Some(alert.node.cname().to_string().as_str())
+            );
+            assert_eq!(
+                record.get("backed_by_external"),
+                Some(&JsonValue::Bool(alert.backed_by_external))
+            );
+        }
+
+        // /failures totals equal the local engine's.
+        let (status, _, body) = get(srv.addr, &format!("/v1/systems/{name}/failures"), "");
+        assert_eq!(status, 200);
+        let f = json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+        assert_eq!(
+            f.get("total").unwrap().as_number(),
+            Some(stats.failures as f64)
+        );
+        let records = f.get("failures").and_then(JsonValue::as_array).unwrap();
+        let local = engine.failures();
+        assert_eq!(records.len(), local.len().min(1024));
+        let predicted: u64 = records
+            .iter()
+            .filter(|r| r.get("predicted") == Some(&JsonValue::Bool(true)))
+            .count() as u64;
+        if local.len() <= 1024 {
+            assert_eq!(predicted, stats.predicted_failures);
+        }
+    }
+
+    srv.stop();
+    let _ = std::fs::remove_dir_all(&d1);
+    let _ = std::fs::remove_dir_all(&d2);
+}
+
+#[test]
+fn cached_report_serves_304_on_unchanged_generation() {
+    let d1 = tmpdir("etag");
+    generate_feed(&d1, SystemId::S3, 7);
+    let srv = Server::start(vec![replay_config("S3", &d1)], ServerConfig::default());
+    srv.wait_all_finished();
+
+    let (status, head, body) = get(srv.addr, "/v1/systems/S3/report", "");
+    assert_eq!(status, 200);
+    let etag = header(&head, "ETag").expect("ETag on /report").to_string();
+    let text = String::from_utf8(body).unwrap();
+    assert!(text.contains("live diagnosis"), "{text}");
+    assert!(text.contains("Findings"), "core findings section reused");
+
+    // Same generation: 304 with no body.
+    let (status, head, body) = get(
+        srv.addr,
+        "/v1/systems/S3/report",
+        &format!("If-None-Match: {etag}\r\n"),
+    );
+    assert_eq!(status, 304, "unchanged generation must 304");
+    assert_eq!(header(&head, "ETag"), Some(etag.as_str()));
+    assert!(body.is_empty(), "304 carries no body");
+
+    // A stale ETag still gets the full report.
+    let (status, _, body) = get(
+        srv.addr,
+        "/v1/systems/S3/report",
+        "If-None-Match: \"S3-g0\"\r\n",
+    );
+    assert_eq!(status, 200);
+    assert!(!body.is_empty());
+
+    srv.stop();
+    let _ = std::fs::remove_dir_all(&d1);
+}
+
+#[test]
+fn pipelined_keep_alive_requests_share_one_connection() {
+    let d1 = tmpdir("pipeline");
+    generate_feed(&d1, SystemId::S1, 11);
+    let srv = Server::start(vec![replay_config("S1", &d1)], ServerConfig::default());
+    srv.wait_all_finished();
+
+    let mut stream = TcpStream::connect(srv.addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // Two requests in one write; the second closes the connection.
+    write!(
+        stream,
+        "GET /v1/systems HTTP/1.1\r\nHost: f\r\n\r\n\
+         GET /v1/systems/S1/window HTTP/1.1\r\nHost: f\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap();
+    let text = String::from_utf8_lossy(&raw);
+    assert_eq!(
+        text.matches("HTTP/1.1 200 OK").count(),
+        2,
+        "both pipelined responses arrive in order: {text}"
+    );
+    assert!(text.contains("window_events"));
+
+    srv.stop();
+    let _ = std::fs::remove_dir_all(&d1);
+}
+
+/// N threads hammer every endpoint while a live follow shard ingests a
+/// feed that is still being appended. Zero 5xx (other than deliberate
+/// 503 backpressure), and every 200 JSON body parses.
+#[test]
+fn concurrent_clients_during_live_ingest_see_no_spurious_errors() {
+    let live = tmpdir("live");
+    let source = tmpdir("live-src");
+    generate_feed(&source, SystemId::S1, 99);
+    std::fs::create_dir_all(live.join("p0-directory")).unwrap();
+
+    let srv = Server::start(
+        vec![ShardConfig {
+            name: "S1".to_string(),
+            feed: Feed::Follow(live.clone()),
+            stream: StreamConfig::default(),
+            poll: Duration::from_millis(5),
+            backfill: None,
+        }],
+        ServerConfig::default(),
+    );
+
+    // Writer: drip the generated console file into the live dir.
+    let writer = {
+        let src = source.join("p0-directory/console");
+        let dst = live.join("p0-directory/console");
+        std::thread::spawn(move || {
+            let text = std::fs::read_to_string(&src).unwrap_or_default();
+            let mut out = std::fs::File::create(&dst).unwrap();
+            for chunk in text.lines().collect::<Vec<_>>().chunks(200) {
+                for line in chunk {
+                    writeln!(out, "{line}").unwrap();
+                }
+                out.flush().unwrap();
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        })
+    };
+
+    let paths = [
+        "/v1/systems",
+        "/v1/systems/S1",
+        "/v1/systems/S1/window",
+        "/v1/systems/S1/alerts",
+        "/v1/systems/S1/failures",
+        "/v1/systems/S1/report",
+        "/metrics",
+    ];
+    let addr = srv.addr;
+    let clients: Vec<_> = (0..8)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut bad = Vec::new();
+                for i in 0..40 {
+                    let path = paths[(c + i) % paths.len()];
+                    let (status, head, body) = get(addr, path, "");
+                    let json_body = header(&head, "Content-Type")
+                        .is_some_and(|ct| ct.starts_with("application/json"));
+                    if status >= 500 && status != 503 {
+                        bad.push(format!("{path} -> {status}"));
+                    }
+                    if status == 200 && json_body {
+                        if let Err(e) = json::parse(std::str::from_utf8(&body).unwrap()) {
+                            bad.push(format!("{path} unparsable: {e}"));
+                        }
+                    }
+                }
+                bad
+            })
+        })
+        .collect();
+    let bad: Vec<String> = clients
+        .into_iter()
+        .flat_map(|c| c.join().unwrap())
+        .collect();
+    assert!(bad.is_empty(), "spurious errors: {bad:?}");
+
+    writer.join().unwrap();
+    srv.stop();
+    let _ = std::fs::remove_dir_all(&live);
+    let _ = std::fs::remove_dir_all(&source);
+}
+
+/// Backpressure is deliberate and bounded: with a one-connection queue
+/// and one worker pinned by a slow request stream, extra connections get
+/// 503 + Retry-After, not a hang and not a connection reset.
+#[test]
+fn overload_sheds_load_with_503_retry_after() {
+    let d1 = tmpdir("overload");
+    generate_feed(&d1, SystemId::S2, 5);
+    let srv = Server::start(
+        vec![replay_config("S2", &d1)],
+        ServerConfig {
+            workers: 1,
+            queue: 1,
+            ..ServerConfig::default()
+        },
+    );
+    srv.wait_all_finished();
+
+    // Open idle connections to fill the worker and the queue; they hold
+    // their slots until the read timeout.
+    let _idle: Vec<TcpStream> = (0..4)
+        .map(|_| TcpStream::connect(srv.addr).unwrap())
+        .collect();
+    std::thread::sleep(Duration::from_millis(200));
+
+    // Now a burst of real requests: every response is either served or a
+    // clean 503 with Retry-After.
+    let mut saw_503 = false;
+    for _ in 0..12 {
+        let mut stream = TcpStream::connect(srv.addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        write!(
+            stream,
+            "GET /v1/systems HTTP/1.1\r\nHost: f\r\nConnection: close\r\n\r\n"
+        )
+        .unwrap();
+        let mut raw = Vec::new();
+        let _ = stream.read_to_end(&mut raw);
+        let text = String::from_utf8_lossy(&raw);
+        if text.starts_with("HTTP/1.1 503") {
+            assert!(text.contains("Retry-After: 1"), "{text}");
+            saw_503 = true;
+        } else if !text.is_empty() {
+            assert!(text.starts_with("HTTP/1.1 200"), "{text}");
+        }
+    }
+    assert!(saw_503, "queue of 1 under a burst must shed something");
+
+    srv.stop();
+    let _ = std::fs::remove_dir_all(&d1);
+}

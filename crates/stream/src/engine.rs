@@ -161,7 +161,7 @@ pub struct StreamEngine {
     detector: IncrementalDetector,
     raiser: AlertRaiser,
     lead: LeadTracker,
-    sinks: Vec<Box<dyn AlertSink>>,
+    sinks: Vec<Box<dyn AlertSink + Send>>,
     alerts: Vec<Alert>,
     failures: Vec<DetectedFailure>,
     released: Vec<LogEvent>,
@@ -229,7 +229,7 @@ impl StreamEngine {
     }
 
     /// Attaches an alert sink.
-    pub fn add_sink(&mut self, sink: Box<dyn AlertSink>) {
+    pub fn add_sink(&mut self, sink: Box<dyn AlertSink + Send>) {
         self.sinks.push(sink);
     }
 

@@ -111,6 +111,29 @@ impl FollowDir {
         self.tails.iter().filter(|t| t.errors > 0).count()
     }
 
+    /// The sources currently quarantined, in [`LogSource::ALL`] order.
+    /// This is the set behind [`FollowDir::quarantined`]'s count —
+    /// exported so heartbeats and fleetd snapshots name the degraded
+    /// streams instead of merely counting them.
+    pub fn quarantined_sources(&self) -> Vec<LogSource> {
+        self.tails
+            .iter()
+            .filter(|t| t.errors > 0)
+            .map(|t| t.source)
+            .collect()
+    }
+
+    /// One consistent health sample — cumulative stats plus the current
+    /// quarantine set — for heartbeats and exported snapshots. Both
+    /// consumers calling this single accessor is what makes the beat-time
+    /// and snapshot views agree by construction.
+    pub fn health(&self) -> crate::heartbeat::FollowHealth {
+        crate::heartbeat::FollowHealth {
+            stats: self.stats,
+            quarantined_sources: self.quarantined_sources(),
+        }
+    }
+
     /// Reads everything newly appended to every source file and feeds the
     /// batch to `engine` in global timestamp order. Returns how many
     /// complete lines were fed.

@@ -17,7 +17,8 @@
 //!  "lines": 10000, "events": 9000, "late_events": 0, "skipped_lines": 2,
 //!  "alerts": 4, "alerts_outstanding": 2, "alerts_expired": 1,
 //!  "failures": 3, "predicted_failures": 2, "missed_failures": 1,
-//!  "follow_quarantined": 0, "follow_io_errors": 0, "follow_rotations": 1,
+//!  "follow_quarantined": 1, "follow_quarantined_sources": ["erd"],
+//!  "follow_io_errors": 0, "follow_rotations": 1,
 //!  "follow_recoveries": 0, "follow_invalid_utf8": 0}
 //! ```
 //!
@@ -27,6 +28,7 @@
 
 use std::io::Write;
 
+use hpc_logs::event::LogSource;
 use hpc_telemetry::json::JsonValue;
 
 use crate::engine::StreamStats;
@@ -36,13 +38,24 @@ use crate::follow::FollowStats;
 pub const HEARTBEAT_VERSION: u64 = 1;
 
 /// Follow-mode fields of a heartbeat: cumulative [`FollowStats`] plus the
-/// currently quarantined source count.
-#[derive(Debug, Clone, Copy)]
+/// currently quarantined source set. Built via
+/// [`crate::follow::FollowDir::health`] so every consumer — periodic
+/// beat, drain-path final record, fleetd snapshot — samples the same
+/// state; `follow_quarantined` is derived from the set, never counted
+/// separately, so a count/set disagreement is unrepresentable.
+#[derive(Debug, Clone)]
 pub struct FollowHealth {
     /// Cumulative tailer degradation counters.
     pub stats: FollowStats,
-    /// Sources currently in error backoff.
-    pub quarantined: usize,
+    /// Sources currently in error backoff, in [`LogSource::ALL`] order.
+    pub quarantined_sources: Vec<LogSource>,
+}
+
+impl FollowHealth {
+    /// Number of sources currently in error backoff.
+    pub fn quarantined(&self) -> usize {
+        self.quarantined_sources.len()
+    }
 }
 
 /// Renders one heartbeat as a single JSON line (no trailing newline).
@@ -94,7 +107,16 @@ pub fn heartbeat_line(
     ];
     if let Some(f) = follow {
         fields.extend([
-            ("follow_quarantined".to_string(), n(f.quarantined as u64)),
+            ("follow_quarantined".to_string(), n(f.quarantined() as u64)),
+            (
+                "follow_quarantined_sources".to_string(),
+                JsonValue::Array(
+                    f.quarantined_sources
+                        .iter()
+                        .map(|s| JsonValue::String(s.key().to_string()))
+                        .collect(),
+                ),
+            ),
             ("follow_io_errors".to_string(), n(f.stats.io_errors)),
             ("follow_rotations".to_string(), n(f.stats.rotations)),
             ("follow_recoveries".to_string(), n(f.stats.recoveries)),
@@ -223,12 +245,17 @@ mod tests {
                 quarantines: 1,
                 recoveries: 1,
             },
-            quarantined: 1,
+            quarantined_sources: vec![LogSource::Erd],
         };
         let line = heartbeat_line(0, 0, true, &stats(), 0, Some(&follow));
         let v = json::parse(&line).unwrap();
         assert_eq!(v.get("final"), Some(&JsonValue::Bool(true)));
         assert_eq!(v.get("follow_quarantined").unwrap().as_number(), Some(1.0));
+        let sources = v
+            .get("follow_quarantined_sources")
+            .and_then(JsonValue::as_array)
+            .unwrap();
+        assert_eq!(sources, &[JsonValue::String("erd".to_string())]);
         assert_eq!(v.get("follow_io_errors").unwrap().as_number(), Some(5.0));
         assert_eq!(v.get("follow_rotations").unwrap().as_number(), Some(2.0));
     }

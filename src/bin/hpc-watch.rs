@@ -47,8 +47,7 @@ use hpc_node_failures::logs::parse::guess_source;
 use hpc_node_failures::logs::time::SimDuration;
 use hpc_node_failures::stream::flight::{self, FlightRecorder};
 use hpc_node_failures::stream::{
-    FollowDir, FollowHealth, HeartbeatWriter, JsonlSink, StreamConfig, StreamEngine, StreamStats,
-    TextSink,
+    FollowDir, HeartbeatWriter, JsonlSink, StreamConfig, StreamEngine, StreamStats, TextSink,
 };
 use hpc_node_failures::telemetry;
 
@@ -195,10 +194,7 @@ impl Heartbeat {
     }
 
     fn beat(&mut self, engine: &StreamEngine, follow: Option<&FollowDir>, last: bool) {
-        let health = follow.map(|f| FollowHealth {
-            stats: f.stats(),
-            quarantined: f.quarantined(),
-        });
+        let health = follow.map(FollowDir::health);
         let seq = self.writer.seq();
         let written = self.writer.beat(
             self.started.elapsed().as_millis() as u64,

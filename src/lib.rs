@@ -13,6 +13,8 @@
 //! * [`diagnosis`] — the paper's measurement pipeline over text logs.
 //! * [`stream`] — bounded-memory online diagnosis over live log streams
 //!   (the `hpc-watch` engine).
+//! * [`fleet`] — resident multi-system diagnosis service with an
+//!   HTTP/JSON read path (the `hpc-fleetd` daemon).
 //! * [`telemetry`] — stage-level tracing, metrics and machine-readable
 //!   run reports across the whole simulate→diagnose pipeline.
 //!
@@ -32,6 +34,7 @@
 
 pub use hpc_diagnosis as diagnosis;
 pub use hpc_faultsim as faultsim;
+pub use hpc_fleet as fleet;
 pub use hpc_logs as logs;
 pub use hpc_platform as platform;
 pub use hpc_sched as sched;

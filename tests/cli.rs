@@ -222,7 +222,30 @@ fn watch_sigterm_flushes_heartbeat_and_telemetry() {
 
     // Telemetry JSON flushed on the same path.
     let text = std::fs::read_to_string(&telemetry).expect("telemetry flushed on signal");
-    hpc_node_failures::telemetry::Snapshot::from_json(&text).expect("telemetry parses");
+    let snap = hpc_node_failures::telemetry::Snapshot::from_json(&text).expect("telemetry parses");
+
+    // The final heartbeat and the telemetry snapshot are two exports of
+    // the same drained engine — every shared counter must agree exactly.
+    // This is the contract fleetd snapshots inherit: no field is sampled
+    // on a different schedule than its telemetry twin.
+    for (hb_field, counter) in [
+        ("lines", "stream.lines"),
+        ("events", "stream.events"),
+        ("late_events", "stream.late_events"),
+        ("skipped_lines", "stream.skipped_lines"),
+        ("alerts", "stream.alerts"),
+        ("alerts_expired", "stream.alerts.expired"),
+        ("failures", "stream.failures"),
+        ("predicted_failures", "stream.failures.predicted"),
+        ("missed_failures", "stream.failures.missed"),
+    ] {
+        let hb_val = last.get(hb_field).unwrap().as_number().unwrap() as u64;
+        let tel_val = snap.counter(counter).unwrap_or(0);
+        assert_eq!(
+            hb_val, tel_val,
+            "final heartbeat `{hb_field}` disagrees with telemetry `{counter}`"
+        );
+    }
 
     writer.join().unwrap();
     std::fs::remove_dir_all(&dir).unwrap();
