@@ -5,7 +5,7 @@
 //!
 //! options:
 //!   --quick                 reduced matrix (2 days, 2 runs) for CI/smoke
-//!   --out <path>            report path (default BENCH_0009.json)
+//!   --out <path>            report path (default BENCH_0010.json)
 //!   --gate <baseline.json>  compare against a baseline; exit 1 on regression
 //!   --tolerance-pct <n>     gate tolerance (default 25)
 //!   --days <n>              override simulated days
@@ -16,7 +16,7 @@
 //!
 //! Without `--gate`, runs the fixed workload matrix (see
 //! `hpc_bench::perf`) and writes the schema-versioned JSON report — the
-//! committed `BENCH_0009.json` at the repo root is one such run, refreshed
+//! committed `BENCH_0010.json` at the repo root is one such run, refreshed
 //! when a PR intentionally moves throughput. With `--gate`, the fresh run
 //! is additionally compared against the baseline's medians and the
 //! process exits nonzero if any workload regressed beyond tolerance (or

@@ -1,13 +1,14 @@
 //! Tracked performance trajectory: the fixed workload matrix behind the
-//! `hpc-bench` binary and the `BENCH_0009.json` artefact.
+//! `hpc-bench` binary and the `BENCH_0010.json` artefact.
 //!
 //! Criterion benches (`benches/`) answer "is this change faster?" on a
 //! developer box; they leave no durable record, so regressions that creep
 //! in over many PRs are invisible. This module runs a *fixed, seeded*
 //! workload matrix over the hot paths — ingest (sequential and pooled),
-//! EventStore build, indexed queries, segment-store reopen and cold
-//! query, stream replay, chaos-corrupted ingest, and the fleetd HTTP
-//! read path — and renders the result
+//! EventStore build, indexed queries, segment-store reopen, cold and
+//! pruned store queries, stream replay, chaos-corrupted ingest, and the
+//! fleetd HTTP read path (including the store-backed `/query`
+//! passthrough) — and renders the result
 //! as a schema-versioned JSON report that
 //! is committed at the repo root and diffed by the CI `bench-gate` job
 //! (`--gate <baseline>` exits nonzero on a regression beyond tolerance).
@@ -32,7 +33,7 @@ use hpc_diagnosis::{Diagnosis, DiagnosisConfig, EventStore};
 use hpc_faultsim::chaos::{ChaosFeed, ChaosSpec, Intensity};
 use hpc_faultsim::Scenario;
 use hpc_fleet::snapshot::{SnapshotSlot, SystemSnapshot};
-use hpc_fleet::{serve, Fleet, ServerConfig};
+use hpc_fleet::{serve, Fleet, QueryStore, ServerConfig};
 use hpc_logs::archive::LogArchive;
 use hpc_logs::event::LogSource;
 use hpc_logs::time::SimDuration;
@@ -44,7 +45,7 @@ use hpc_telemetry::json::{self, JsonValue};
 pub const SCHEMA_VERSION: u64 = 1;
 
 /// Default report file name at the repo root.
-pub const DEFAULT_OUT: &str = "BENCH_0009.json";
+pub const DEFAULT_OUT: &str = "BENCH_0010.json";
 
 /// Default gate tolerance: current median may drop this far below the
 /// baseline median before the gate fails.
@@ -66,7 +67,7 @@ pub struct BenchParams {
 }
 
 impl BenchParams {
-    /// The full tracked matrix (what `BENCH_0009.json` records).
+    /// The full tracked matrix (what `BENCH_0010.json` records).
     pub fn full() -> BenchParams {
         BenchParams {
             system: SystemId::S1,
@@ -424,11 +425,53 @@ pub fn run_matrix(
             })
         })
         .collect();
-    let _ = std::fs::remove_dir_all(&store_dir);
+    let query_cold_median = median(&query_cold);
     measurements.push(summarize("store.query.cold", "queries_per_sec", query_cold));
     progress("store.query.cold done");
 
-    // 7. Stream replay: the merged archive through a fresh StreamEngine,
+    // 7. Pruned store query: the same query set as `store.query.cold`,
+    //   but through the lazy planner — `Store::open` (no row decode),
+    //   then per-class counts served from the manifest catalogue and a
+    //   windowed count that only touches segments whose time range
+    //   intersects the window. The ratio to `store.query.cold` is the
+    //   tracked payoff of the scan layer
+    //   (`store_query_pruned_speedup_x`, CI-gated ≥ 5×).
+    let query_pruned: Vec<f64> = (0..params.runs)
+        .map(|_| {
+            throughput(cold_queries, || {
+                let store =
+                    hpc_diagnosis::segment::Store::open(&store_dir).expect("reopen for plan");
+                let mut total = 0u64;
+                for class in &classes {
+                    let filter = hpc_diagnosis::query::QueryFilter {
+                        classes: vec![*class],
+                        ..Default::default()
+                    };
+                    total += hpc_diagnosis::query::plan(&store, &filter)
+                        .count()
+                        .expect("pruned class count");
+                }
+                let windowed = hpc_diagnosis::query::QueryFilter {
+                    from: Some(win_from),
+                    to: Some(win_to),
+                    ..Default::default()
+                };
+                total
+                    + hpc_diagnosis::query::plan(&store, &windowed)
+                        .count()
+                        .expect("pruned windowed count")
+            })
+        })
+        .collect();
+    let query_pruned_median = median(&query_pruned);
+    measurements.push(summarize(
+        "store.query.pruned",
+        "queries_per_sec",
+        query_pruned,
+    ));
+    progress("store.query.pruned done");
+
+    // 8. Stream replay: the merged archive through a fresh StreamEngine,
     //   finish included (the CI watch smoke, minus process overhead).
     let merged = merged_stream_lines(archive);
     let replay: Vec<f64> = (0..params.runs)
@@ -446,7 +489,7 @@ pub fn run_matrix(
     measurements.push(summarize("stream.replay", "lines_per_sec", replay));
     progress("stream.replay done");
 
-    // 8. Chaos ingest: cold ingest of a mixed-corruption feed — the
+    // 9. Chaos ingest: cold ingest of a mixed-corruption feed — the
     //   hardened parse path under adversarial input. The feed is written
     //   to a scratch dir once, outside the timers, so every run pays the
     //   same (cached) read cost and the delta against `ingest.cold` is
@@ -475,7 +518,7 @@ pub fn run_matrix(
     measurements.push(summarize("chaos.ingest", "lines_per_sec", chaos));
     progress("chaos.ingest done");
 
-    // 9./10. fleetd HTTP read path: an in-process `hpc-fleet` server on
+    // 10.–12. fleetd HTTP read path: an in-process `hpc-fleet` server on
     //   an ephemeral port, one snapshot slot standing in for a shard. The
     //   cached `/report` (rendered once per generation, then served from
     //   the snapshot's cache) and the `/window` JSON path are measured as
@@ -491,7 +534,10 @@ pub fn run_matrix(
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind bench fleetd");
     let server = serve(
         listener,
-        Fleet::new(vec![("S1".to_string(), Arc::clone(&slot))]),
+        Fleet::new(vec![("S1".to_string(), Arc::clone(&slot))]).with_query_store(
+            "S1",
+            QueryStore::open(&store_dir).expect("open bench query store"),
+        ),
         ServerConfig::default(),
         Arc::clone(&shutdown),
     )
@@ -562,6 +608,21 @@ pub fn run_matrix(
         "requests_per_sec",
         window_runs,
     ));
+    // The `/query` passthrough: each request runs a planner count over
+    // the attached segment store — catalogue-pruned on the class, so the
+    // HTTP and planner layers dominate, not row decode.
+    let query_class = classes
+        .first()
+        .map(|c| c.key())
+        .unwrap_or("kernel_panic")
+        .to_string();
+    let query_path = format!("/v1/systems/S1/query?verb=count&class={query_class}");
+    let query_runs: Vec<f64> = (0..params.runs).map(|_| api_run(&query_path)).collect();
+    measurements.push(summarize(
+        "fleetd.api.query",
+        "requests_per_sec",
+        query_runs,
+    ));
     progress("fleetd.api done");
 
     // Ingest with and without reader threads exercising the API. Each
@@ -627,13 +688,16 @@ pub fn run_matrix(
     let ingest_loaded_median = median(&ingest_loaded);
     shutdown.store(true, Ordering::SeqCst);
     server.join();
+    let _ = std::fs::remove_dir_all(&store_dir);
     progress(&format!(
         "fleetd.ingest quiet/loaded done ({api_reads} concurrent API reads)"
     ));
 
     // Info-only: how much slower corrupted input parses than clean input,
-    // and how much faster a store reopen is than cold text ingest (the
-    // acceptance target for the segment store is ≥ 10×).
+    // how much faster a store reopen is than cold text ingest (the
+    // acceptance target for the segment store is ≥ 10×), and how much
+    // faster the pruned planner answers the query set than the cold
+    // decode-and-index path (target ≥ 5×).
     let overhead_pct = if chaos_median > 0.0 {
         (cold_median / chaos_median - 1.0) * 100.0
     } else {
@@ -646,6 +710,11 @@ pub fn run_matrix(
     };
     let fleetd_overhead_pct = if ingest_loaded_median > 0.0 {
         (ingest_quiet_median / ingest_loaded_median - 1.0) * 100.0
+    } else {
+        0.0
+    };
+    let pruned_speedup = if query_cold_median > 0.0 {
+        query_pruned_median / query_cold_median
     } else {
         0.0
     };
@@ -663,6 +732,7 @@ pub fn run_matrix(
                 "fleetd_ingest_overhead_pct".to_string(),
                 fleetd_overhead_pct,
             ),
+            ("store_query_pruned_speedup_x".to_string(), pruned_speedup),
         ],
     }
 }
@@ -1071,10 +1141,12 @@ mod tests {
                 "store.query",
                 "store.open",
                 "store.query.cold",
+                "store.query.pruned",
                 "stream.replay",
                 "chaos.ingest",
                 "fleetd.api.report",
-                "fleetd.api.window"
+                "fleetd.api.window",
+                "fleetd.api.query"
             ]
         );
         assert!(report.measurements.iter().all(|m| m.median > 0.0));
@@ -1084,6 +1156,10 @@ mod tests {
             .info
             .iter()
             .any(|(k, _)| k == "fleetd_ingest_overhead_pct"));
+        assert!(report
+            .info
+            .iter()
+            .any(|(k, _)| k == "store_query_pruned_speedup_x"));
         // And a self-gate at any tolerance passes.
         let rows = gate(&report, &report, 0.1);
         assert!(rows.iter().all(|r| !r.regressed));

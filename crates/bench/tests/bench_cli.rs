@@ -45,7 +45,7 @@ fn writes_valid_report_and_gate_verdicts_match_baseline_quality() {
     let text = std::fs::read_to_string(&report_path).unwrap();
     let report = BenchReport::from_json(&text).expect("report parses");
     assert_eq!(report.schema_version, 1);
-    assert_eq!(report.measurements.len(), 10);
+    assert_eq!(report.measurements.len(), 12);
     assert!(report.measurements.iter().all(|m| m.median > 0.0));
 
     // 2. Gating a fresh run against that baseline passes: same machine,

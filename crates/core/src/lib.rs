@@ -41,9 +41,10 @@ pub mod swo;
 
 pub use detection::{DetectedFailure, TerminalKind};
 pub use pipeline::{Diagnosis, DiagnosisConfig};
-pub use query::{HistKey, QueryFilter};
+pub use query::{plan, HistKey, PlannedEvents, QueryFilter, StorePlan};
 pub use root_cause::{CauseBreakdown, CauseClass, Fig16Bucket, InferredCause};
 pub use segment::{
-    open_store, write_store, Manifest, OpenError, OpenedStore, Store, StoreContents,
+    open_store, write_store, DerivedState, Manifest, OpenError, OpenedStore, Scan, ScanStats,
+    Store, StoreContents,
 };
 pub use store::{EntityIndex, EventClass, EventStore, Postings};

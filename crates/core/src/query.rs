@@ -15,8 +15,19 @@
 //! [`failures`] (the persisted detection output, filterable the same
 //! way). Each verb renders to both plain text and JSON from one result
 //! value, keeping the two output modes structurally in sync.
+//!
+//! The same verbs also run straight off a cold on-disk store: [`plan`]
+//! compiles a [`QueryFilter`] against a validated [`Store`] into a
+//! pruned segment set plus per-segment row ranges, and a [`StorePlan`]
+//! answers `count` from the manifest catalogue when no residual
+//! predicate needs row bytes, streams matching events one at a time
+//! otherwise (`histogram`, and `tail` through a bounded ring), and
+//! reads `failures` from the derived file alone. Results are identical
+//! to building an [`EventStore`] from [`Store::load`] and querying it —
+//! the round-trip proptests pin that equivalence.
 
-use std::collections::BTreeMap;
+use std::borrow::Borrow;
+use std::collections::{BTreeMap, VecDeque};
 
 use hpc_logs::event::{nid_name, LogEvent, Payload};
 use hpc_logs::time::SimTime;
@@ -25,6 +36,7 @@ use hpc_platform::{BladeId, CabinetId, NodeId};
 use hpc_telemetry::json::JsonValue;
 
 use crate::detection::{DetectedFailure, TerminalKind};
+use crate::segment::{OpenError, Scan, ScanStats, Store};
 use crate::store::{EventClass, EventStore};
 
 /// Event predicate: class set, subject entity, and half-open time window.
@@ -127,7 +139,10 @@ pub fn count(store: &EventStore, filter: &QueryFilter) -> u64 {
         if filter.classes.is_empty() {
             return store.events_between(from, to).len() as u64;
         }
+        // Sort before dedup: a repeated `--class` that is not adjacent
+        // must still count each event once.
         let mut classes = filter.classes.clone();
+        classes.sort_unstable_by_key(|c| *c as u8);
         classes.dedup();
         return classes
             .iter()
@@ -195,9 +210,19 @@ pub struct HistBucket {
 /// descending count (label as tie-break); time-keyed histograms sort by
 /// ascending bucket. Events without the keyed attribute are dropped.
 pub fn histogram(store: &EventStore, filter: &QueryFilter, key: HistKey) -> Vec<HistBucket> {
+    bucket_stream(filter.select(store), key)
+}
+
+/// Core of [`histogram`]: buckets any stream of events (borrowed from an
+/// [`EventStore`] or streamed off a [`StorePlan`]) in O(buckets) memory.
+fn bucket_stream<B: Borrow<LogEvent>>(
+    events: impl IntoIterator<Item = B>,
+    key: HistKey,
+) -> Vec<HistBucket> {
     // (sort_key, label) — sort_key keeps time buckets numeric.
     let mut buckets: BTreeMap<(u64, String), u64> = BTreeMap::new();
-    for e in filter.select(store) {
+    for e in events {
+        let e = e.borrow();
         let entry = match key {
             HistKey::Class => Some((0, EventClass::of(&e.payload).key().to_string())),
             HistKey::Node => e.subject_node().map(|n| (0, nid_name(n))),
@@ -238,11 +263,33 @@ pub fn tail(
     n: usize,
     scheduler: SchedulerKind,
 ) -> Vec<(SimTime, EventClass, String)> {
-    let hits = filter.select(store);
-    let start = hits.len().saturating_sub(n);
-    hits[start..]
-        .iter()
+    render_tail_rows(keep_last(filter.select(store), n), scheduler)
+}
+
+/// Bounded reverse ring: retains the last `n` items of a stream in O(n)
+/// memory, never materialising the stream itself.
+fn keep_last<B>(events: impl IntoIterator<Item = B>, n: usize) -> VecDeque<B> {
+    let mut ring = VecDeque::with_capacity(n.min(1024));
+    if n == 0 {
+        return ring;
+    }
+    for e in events {
+        if ring.len() == n {
+            ring.pop_front();
+        }
+        ring.push_back(e);
+    }
+    ring
+}
+
+/// Renders ring survivors into their original log-line form.
+fn render_tail_rows<B: Borrow<LogEvent>>(
+    rows: impl IntoIterator<Item = B>,
+    scheduler: SchedulerKind,
+) -> Vec<(SimTime, EventClass, String)> {
+    rows.into_iter()
         .map(|e| {
+            let e = e.borrow();
             let lines = hpc_logs::render::render(e, scheduler).join("\n");
             (e.time, EventClass::of(&e.payload), lines)
         })
@@ -272,6 +319,151 @@ pub fn failures(all: &[DetectedFailure], filter: &QueryFilter) -> Vec<DetectedFa
         })
         .copied()
         .collect()
+}
+
+// --- store planner ------------------------------------------------------
+
+/// Compiles `filter` into a lazy plan over a validated (but undecoded)
+/// [`Store`]. Nothing is read until a verb runs.
+pub fn plan<'a>(store: &'a Store, filter: &QueryFilter) -> StorePlan<'a> {
+    StorePlan {
+        store,
+        filter: filter.clone(),
+    }
+}
+
+/// A compiled query over a cold segment store.
+///
+/// The plan is the single read path shared by `hpc-query`, fleetd's
+/// `/v1/systems/{id}/query` endpoint and [`Store::load_range`]: class
+/// predicates select segments straight from the manifest catalogue,
+/// time predicates prune on catalogue time ranges before any byte of a
+/// body is read and then binary-search the decoded time column, and the
+/// remaining (entity) predicates are applied to a stream of events that
+/// is never materialised as a whole.
+pub struct StorePlan<'a> {
+    store: &'a Store,
+    filter: QueryFilter,
+}
+
+impl<'a> StorePlan<'a> {
+    /// The filter's half-open window as inclusive scan bounds, or
+    /// `None` when the window is provably empty.
+    fn bounds(&self) -> Option<(SimTime, SimTime)> {
+        let from = self.filter.from.unwrap_or(SimTime::EPOCH);
+        let to = match self.filter.to {
+            None => SimTime::from_millis(u64::MAX),
+            Some(t) => SimTime::from_millis(t.as_millis().checked_sub(1)?),
+        };
+        (from <= to).then_some((from, to))
+    }
+
+    /// Whether a predicate survives segment/row pruning and must
+    /// inspect decoded events.
+    fn has_entity_predicate(&self) -> bool {
+        self.filter.node.is_some() || self.filter.blade.is_some() || self.filter.cabinet.is_some()
+    }
+
+    /// Matching events as a stream in global merge order. Decodes rows
+    /// on demand; drop the iterator early and the tail is never read.
+    pub fn events(&self) -> Result<PlannedEvents<'_>, OpenError> {
+        let scan = match self.bounds() {
+            Some((from, to)) => Some(self.store.scan(&self.filter.classes, from, to)?),
+            None => None,
+        };
+        Ok(PlannedEvents {
+            scan,
+            filter: &self.filter,
+        })
+    }
+
+    /// Number of matching events.
+    ///
+    /// With no entity predicate this never decodes a payload row: a
+    /// class-only filter sums manifest row counts outright, and time
+    /// bounds decode at most the time columns of window-straddling
+    /// segments ([`Store::count_rows`]).
+    pub fn count(&self) -> Result<u64, OpenError> {
+        let Some((from, to)) = self.bounds() else {
+            return Ok(0);
+        };
+        if !self.has_entity_predicate() {
+            return self.store.count_rows(&self.filter.classes, from, to);
+        }
+        let mut it = self.events()?;
+        let n = it.by_ref().count() as u64;
+        match it.take_error() {
+            Some(e) => Err(e),
+            None => Ok(n),
+        }
+    }
+
+    /// Matching events bucketed by `key`, streamed in O(buckets) memory.
+    pub fn histogram(&self, key: HistKey) -> Result<Vec<HistBucket>, OpenError> {
+        let mut it = self.events()?;
+        let buckets = bucket_stream(it.by_ref(), key);
+        match it.take_error() {
+            Some(e) => Err(e),
+            None => Ok(buckets),
+        }
+    }
+
+    /// The last `n` matching events, oldest of the `n` first, via a
+    /// bounded ring — the stream is scanned once and never materialised.
+    pub fn tail(
+        &self,
+        n: usize,
+        scheduler: SchedulerKind,
+    ) -> Result<Vec<(SimTime, EventClass, String)>, OpenError> {
+        let mut it = self.events()?;
+        let ring = keep_last(it.by_ref(), n);
+        match it.take_error() {
+            Some(e) => Err(e),
+            None => Ok(render_tail_rows(ring, scheduler)),
+        }
+    }
+
+    /// Detected failures narrowed by the filter, straight from the
+    /// derived file — no event row is touched.
+    pub fn failures(&self) -> Result<Vec<DetectedFailure>, OpenError> {
+        Ok(failures(&self.store.derived()?.failures, &self.filter))
+    }
+}
+
+/// The streaming side of a [`StorePlan`]: pruned per-segment cursors
+/// merged in position order, with the residual predicates applied per
+/// event.
+///
+/// A mid-stream decode error ends the iteration; callers that must
+/// treat corruption as fatal check [`PlannedEvents::take_error`] after
+/// draining. (Checksums verified by [`Store::open`] make such errors
+/// all but impossible in practice.)
+pub struct PlannedEvents<'a> {
+    /// `None` when the plan's window is provably empty.
+    scan: Option<Scan<'a>>,
+    filter: &'a QueryFilter,
+}
+
+impl PlannedEvents<'_> {
+    /// The error that ended the stream early, if any.
+    pub fn take_error(&mut self) -> Option<OpenError> {
+        self.scan.as_mut().and_then(Scan::take_error)
+    }
+
+    /// Decode-effort counters for this stream so far.
+    pub fn stats(&self) -> ScanStats {
+        self.scan.as_ref().map(Scan::stats).unwrap_or_default()
+    }
+}
+
+impl Iterator for PlannedEvents<'_> {
+    type Item = LogEvent;
+
+    fn next(&mut self) -> Option<LogEvent> {
+        let filter = self.filter;
+        let scan = self.scan.as_mut()?;
+        scan.find(|e| filter.matches(e))
+    }
 }
 
 // --- rendering ----------------------------------------------------------
@@ -505,6 +697,24 @@ mod tests {
             assert_select_equals_scan(&s, f);
             assert_eq!(count(&s, f), f.select(&s).len() as u64, "{f:?}");
         }
+    }
+
+    /// Regression: a class repeated non-adjacently (`--class a --class b
+    /// --class a`) must count each event once. An adjacent-only `dedup`
+    /// used to double-count here, in both the in-memory and store paths.
+    #[test]
+    fn non_adjacent_duplicate_classes_count_once() {
+        let s = store();
+        let f = QueryFilter {
+            classes: vec![
+                EventClass::DiskError,
+                EventClass::KernelPanic,
+                EventClass::DiskError,
+            ],
+            ..Default::default()
+        };
+        assert_eq!(count(&s, &f), 5); // 4 disk errors + 1 panic
+        assert_eq!(f.select(&s).len(), 5);
     }
 
     #[test]

@@ -46,6 +46,9 @@
 //! [`OpenError`] — a corrupted store must never panic the reader.
 
 pub mod codec;
+pub mod scan;
+
+pub use scan::{Scan, ScanStats};
 
 use std::collections::HashMap;
 use std::fmt;
@@ -351,6 +354,18 @@ pub struct StoreContents<'a> {
     pub scheduler: SchedulerKind,
     /// Human-readable provenance string.
     pub source: &'a str,
+}
+
+/// The decoded `derived.bin` state: everything a store persists beyond
+/// the event rows. Readable without decoding a single event row.
+#[derive(Debug, Clone)]
+pub struct DerivedState {
+    /// Detected node failures after SWO exclusion.
+    pub failures: Vec<DetectedFailure>,
+    /// Recognised system-wide outages.
+    pub swos: Vec<SwoWindow>,
+    /// Failures attributed to SWOs.
+    pub swo_failures: Vec<DetectedFailure>,
 }
 
 /// A fully validated, decoded store — the persisted twin of the
@@ -735,54 +750,6 @@ fn decode_segment_into(
     Ok(())
 }
 
-/// Decodes only the rows of one segment whose time falls in
-/// `[from, to]`, appending `(global position, event)` pairs to `out`.
-///
-/// Rows are chronological within a segment, so the scan stops at the
-/// first row past `to` without decoding the tail's payloads; rows before
-/// `from` still have their payloads decoded (the payload column has no
-/// per-row offsets) but are not materialised into `out`.
-fn decode_segment_range(
-    path: &Path,
-    meta: &SegmentMeta,
-    body: &[u8],
-    from: SimTime,
-    to: SimTime,
-    out: &mut Vec<(u32, LogEvent)>,
-) -> Result<(), OpenError> {
-    let corrupt = |why: String| OpenError::Corrupt(path.to_path_buf(), why);
-    let mut dec = Dec::new(body);
-    let SegmentColumns {
-        dict,
-        times,
-        positions,
-    } = decode_columns(path, meta, body, &mut dec)?;
-
-    for i in 0..times.len() {
-        if times[i] > to {
-            return Ok(());
-        }
-        let payload = codec::decode_payload(meta.class, &mut dec, &dict)
-            .map_err(|e| corrupt(format!("row {i}: {e}")))?;
-        if times[i] >= from {
-            out.push((
-                positions[i],
-                LogEvent {
-                    time: times[i],
-                    payload,
-                },
-            ));
-        }
-    }
-    if dec.remaining() != 0 {
-        return Err(corrupt(format!(
-            "{} trailing bytes after last row",
-            dec.remaining()
-        )));
-    }
-    Ok(())
-}
-
 /// A validated-but-undecoded store handle.
 ///
 /// [`Store::open`] is the catalogue-and-checksum pass: it reads every
@@ -894,62 +861,35 @@ impl Store {
     /// Decodes only the events whose time falls in `[from, to]`
     /// (inclusive), in global merge order.
     ///
-    /// This is the lazy query path: a segment whose catalogue time range
-    /// is disjoint from the query range is skipped entirely — no row of
-    /// it is decoded — which is what makes a narrow window over a
-    /// months-long store cheap. Within an overlapping segment the scan
-    /// stops at the first row past `to`. Unlike [`Store::load`] this
-    /// borrows the handle, so repeated range queries reuse one validated
-    /// open.
+    /// This is a planner query: the filter compiles to a segment set
+    /// (catalogue time pruning) plus per-segment row ranges, and the
+    /// events stream out of [`Store::scan`] cursors already merged in
+    /// position order — a segment disjoint from the range never has a
+    /// row decoded. Unlike [`Store::load`] this borrows the handle, so
+    /// repeated range queries reuse one validated open.
     pub fn load_range(&self, from: SimTime, to: SimTime) -> Result<Vec<LogEvent>, OpenError> {
         let _span = hpc_telemetry::span!("core.segstore.load_range");
-        let mut rows: Vec<(u32, LogEvent)> = Vec::new();
-        let mut pruned = 0u64;
-        for (meta, (path, image)) in self.manifest.segments.iter().zip(&self.segments) {
-            if meta.max_time < from || meta.min_time > to {
-                pruned += 1;
-                continue;
-            }
-            let body = &image[SEG_MAGIC.len() + 1..image.len() - FOOTER_LEN];
-            decode_segment_range(path, meta, body, from, to, &mut rows)?;
+        // The planner's window is half-open; widen the inclusive `to` by
+        // one tick (saturating: an unrepresentable bound means no bound).
+        let filter = crate::query::QueryFilter {
+            from: Some(from),
+            to: to.as_millis().checked_add(1).map(SimTime::from_millis),
+            ..Default::default()
+        };
+        let plan = crate::query::plan(self, &filter);
+        let mut iter = plan.events()?;
+        let events: Vec<LogEvent> = iter.by_ref().collect();
+        if let Some(e) = iter.take_error() {
+            return Err(e);
         }
-        // Segments partition positions, so a stable key sort restores the
-        // exact global merge order (including tie order).
-        rows.sort_unstable_by_key(|(pos, _)| *pos);
-        if rows.windows(2).any(|w| w[0].0 == w[1].0) {
-            return Err(OpenError::Corrupt(
-                self.derived_path.with_file_name(MANIFEST_FILE),
-                "segments disagree: one event position decoded twice".to_string(),
-            ));
-        }
-        hpc_telemetry::counter("core.segstore.segments.pruned").add(pruned);
-        hpc_telemetry::counter("core.segstore.events.range_read").add(rows.len() as u64);
-        Ok(rows.into_iter().map(|(_, e)| e).collect())
+        hpc_telemetry::counter("core.segstore.events.range_read").add(events.len() as u64);
+        Ok(events)
     }
 
-    /// Decodes every row and the derived state — the scan phase. Checks
-    /// dense position coverage `0..events` and in-body row counts; the
-    /// envelopes were already proven by [`Store::open`].
-    pub fn load(self) -> Result<OpenedStore, OpenError> {
-        let _span = hpc_telemetry::span!("core.segstore.load");
-        let manifest = self.manifest;
-        let total = manifest.events as usize;
-
-        let mut slots: Vec<Option<LogEvent>> = vec![None; total];
-        for (meta, (path, image)) in manifest.segments.iter().zip(&self.segments) {
-            let body = &image[SEG_MAGIC.len() + 1..image.len() - FOOTER_LEN];
-            decode_segment_into(path, meta, body, &mut slots)?;
-        }
-        let mut events = Vec::with_capacity(total);
-        for (pos, slot) in slots.into_iter().enumerate() {
-            events.push(slot.ok_or_else(|| {
-                OpenError::Corrupt(
-                    self.derived_path.with_file_name(MANIFEST_FILE),
-                    format!("no segment covers event position {pos}"),
-                )
-            })?);
-        }
-
+    /// Decodes the derived-state file — detected failures, SWO windows,
+    /// SWO-attributed failures — without touching any event row. This is
+    /// how the `failures` query verb answers from a cold store.
+    pub fn derived(&self) -> Result<DerivedState, OpenError> {
         let body = &self.derived[DRV_MAGIC.len()..self.derived.len() - FOOTER_LEN];
         let footer = &self.derived[self.derived.len() - FOOTER_LEN..];
         let drv_count = u64::from_le_bytes(footer[16..24].try_into().unwrap());
@@ -968,6 +908,40 @@ impl Store {
             return Err(dfail(
                 "derived footer count does not match decoded failures".to_string(),
             ));
+        }
+        Ok(DerivedState {
+            failures,
+            swos,
+            swo_failures,
+        })
+    }
+
+    /// Decodes every row and the derived state — the scan phase. Checks
+    /// dense position coverage `0..events` and in-body row counts; the
+    /// envelopes were already proven by [`Store::open`].
+    pub fn load(self) -> Result<OpenedStore, OpenError> {
+        let _span = hpc_telemetry::span!("core.segstore.load");
+        let DerivedState {
+            failures,
+            swos,
+            swo_failures,
+        } = self.derived()?;
+        let manifest = self.manifest;
+        let total = manifest.events as usize;
+
+        let mut slots: Vec<Option<LogEvent>> = vec![None; total];
+        for (meta, (path, image)) in manifest.segments.iter().zip(&self.segments) {
+            let body = &image[SEG_MAGIC.len() + 1..image.len() - FOOTER_LEN];
+            decode_segment_into(path, meta, body, &mut slots)?;
+        }
+        let mut events = Vec::with_capacity(total);
+        for (pos, slot) in slots.into_iter().enumerate() {
+            events.push(slot.ok_or_else(|| {
+                OpenError::Corrupt(
+                    self.derived_path.with_file_name(MANIFEST_FILE),
+                    format!("no segment covers event position {pos}"),
+                )
+            })?);
         }
 
         hpc_telemetry::counter("core.segstore.events.read").add(manifest.events);

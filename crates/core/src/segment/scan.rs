@@ -1,0 +1,283 @@
+//! Lazy, prunable, streaming scan layer over a validated [`Store`].
+//!
+//! [`Store::open`] proves every file intact without decoding a row; this
+//! module is the read path that decodes *as little as possible* to
+//! answer a filter:
+//!
+//! 1. **Segment pruning** — a segment is selected only if its class is
+//!    in the query's class set and its catalogue time range overlaps the
+//!    query window; everything else is skipped without touching a byte
+//!    of its body.
+//! 2. **Row pruning** — within a selected segment the delta-decoded
+//!    time column is binary-searched to the `[from, to]` row range; rows
+//!    past the range are never payload-decoded. The payload column has
+//!    no per-row offsets, so rows *before* the range are decoded and
+//!    discarded — the time column alone cannot skip their bytes.
+//! 3. **Streaming merge** — per-segment cursors are merged by global
+//!    position into one chronological stream, one event at a time; no
+//!    full event vector is ever materialised.
+//!
+//! Decode effort is observable: `core.segment.segments_pruned`,
+//! `core.segment.segments_decoded` and `core.segment.rows_decoded`
+//! count what a scan skipped and touched, and the same numbers are
+//! available per-scan via [`Scan::stats`] (tests pin pruning behaviour
+//! on them without racing on the global registry).
+//!
+//! A [`Scan`] is an `Iterator<Item = LogEvent>`. Construction fails on
+//! undecodable columns; a payload error mid-stream ends the iteration
+//! and is surfaced by [`Scan::take_error`] — callers that need
+//! corruption to be fatal check it after draining.
+
+use std::path::{Path, PathBuf};
+
+use hpc_logs::event::{LogEvent, Payload};
+use hpc_logs::time::SimTime;
+use hpc_platform::NodeId;
+
+use super::codec::{self, Dec};
+use super::{decode_columns, OpenError, SegmentMeta, Store, FOOTER_LEN, MANIFEST_FILE, SEG_MAGIC};
+use crate::store::EventClass;
+
+/// What one scan (or column-only count) skipped and decoded.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Segments skipped on catalogue class/time alone — zero bytes read.
+    pub segments_pruned: u64,
+    /// Segments whose columns were decoded.
+    pub segments_decoded: u64,
+    /// Payload rows decoded (including pre-range rows that were
+    /// decoded only to advance the offset-less payload column).
+    pub rows_decoded: u64,
+}
+
+fn flush_segment_counters(stats: &ScanStats) {
+    hpc_telemetry::counter("core.segment.segments_pruned").add(stats.segments_pruned);
+    hpc_telemetry::counter("core.segment.segments_decoded").add(stats.segments_decoded);
+}
+
+/// One segment's in-range rows, decoded on demand in row order.
+struct Cursor<'a> {
+    path: &'a Path,
+    class: EventClass,
+    dict: Vec<NodeId>,
+    times: Vec<SimTime>,
+    positions: Vec<u32>,
+    dec: Dec<'a>,
+    /// Payload rows consumed from `dec` so far (the payload column is
+    /// strictly sequential).
+    decoded: usize,
+    /// Next in-range row to yield.
+    next: usize,
+    /// One past the last in-range row; rows beyond are never decoded.
+    hi: usize,
+    /// The next in-range row, pre-decoded for the merge.
+    peeked: Option<(u32, LogEvent)>,
+}
+
+impl<'a> Cursor<'a> {
+    /// Decodes the segment's columns, binary-searches the `[from, to]`
+    /// row range, and primes the first in-range row. `None` when no row
+    /// falls inside the range.
+    fn open(
+        path: &'a Path,
+        meta: &'a SegmentMeta,
+        image: &'a [u8],
+        from: SimTime,
+        to: SimTime,
+        rows_decoded: &mut u64,
+    ) -> Result<Option<Cursor<'a>>, OpenError> {
+        let body = &image[SEG_MAGIC.len() + 1..image.len() - FOOTER_LEN];
+        let mut dec = Dec::new(body);
+        let cols = decode_columns(path, meta, body, &mut dec)?;
+        let lo = cols.times.partition_point(|t| *t < from);
+        let hi = cols.times.partition_point(|t| *t <= to);
+        if lo >= hi {
+            return Ok(None);
+        }
+        let mut cursor = Cursor {
+            path,
+            class: meta.class,
+            dict: cols.dict,
+            times: cols.times,
+            positions: cols.positions,
+            dec,
+            decoded: 0,
+            next: lo,
+            hi,
+            peeked: None,
+        };
+        cursor.peeked = cursor.advance(rows_decoded)?;
+        Ok(Some(cursor))
+    }
+
+    fn decode_one(&mut self) -> Result<Payload, OpenError> {
+        let row = self.decoded;
+        let payload = codec::decode_payload(self.class, &mut self.dec, &self.dict)
+            .map_err(|e| OpenError::Corrupt(self.path.to_path_buf(), format!("row {row}: {e}")))?;
+        self.decoded += 1;
+        Ok(payload)
+    }
+
+    /// Decodes forward to the next in-range row; `None` once the range
+    /// is exhausted. Rows after the range are left undecoded.
+    fn advance(&mut self, rows_decoded: &mut u64) -> Result<Option<(u32, LogEvent)>, OpenError> {
+        if self.next >= self.hi {
+            return Ok(None);
+        }
+        while self.decoded < self.next {
+            self.decode_one()?;
+            *rows_decoded += 1;
+        }
+        let row = self.next;
+        let payload = self.decode_one()?;
+        *rows_decoded += 1;
+        self.next += 1;
+        Ok(Some((
+            self.positions[row],
+            LogEvent {
+                time: self.times[row],
+                payload,
+            },
+        )))
+    }
+}
+
+/// A streaming, position-ordered merge of the pruned per-segment
+/// cursors — the lazy counterpart of [`Store::load`].
+pub struct Scan<'a> {
+    cursors: Vec<Cursor<'a>>,
+    manifest_path: PathBuf,
+    error: Option<OpenError>,
+    stats: ScanStats,
+}
+
+impl Scan<'_> {
+    /// The error that ended the stream early, if any. Callers that must
+    /// treat corruption as fatal check this after draining.
+    pub fn take_error(&mut self) -> Option<OpenError> {
+        self.error.take()
+    }
+
+    /// Decode-effort counters for this scan so far.
+    pub fn stats(&self) -> ScanStats {
+        self.stats
+    }
+}
+
+impl Iterator for Scan<'_> {
+    type Item = LogEvent;
+
+    fn next(&mut self) -> Option<LogEvent> {
+        if self.error.is_some() {
+            return None;
+        }
+        // Linear min-by-position over at most one cursor per class.
+        let mut best: Option<(usize, u32)> = None;
+        for (i, c) in self.cursors.iter().enumerate() {
+            let Some(pos) = c.peeked.as_ref().map(|(p, _)| *p) else {
+                continue;
+            };
+            match best {
+                Some((_, bp)) if pos == bp => {
+                    // Segments partition global positions; a collision
+                    // means two segments claim the same event.
+                    self.error = Some(OpenError::Corrupt(
+                        self.manifest_path.clone(),
+                        "segments disagree: one event position decoded twice".to_string(),
+                    ));
+                    return None;
+                }
+                Some((_, bp)) if pos > bp => {}
+                _ => best = Some((i, pos)),
+            }
+        }
+        let (i, _) = best?;
+        let (_, event) = self.cursors[i].peeked.take().expect("peeked row present");
+        match self.cursors[i].advance(&mut self.stats.rows_decoded) {
+            Ok(p) => self.cursors[i].peeked = p,
+            // The yielded event decoded fine; the error surfaces on the
+            // next call so no good row is lost.
+            Err(e) => self.error = Some(e),
+        }
+        Some(event)
+    }
+}
+
+impl Drop for Scan<'_> {
+    fn drop(&mut self) {
+        hpc_telemetry::counter("core.segment.rows_decoded").add(self.stats.rows_decoded);
+    }
+}
+
+impl Store {
+    /// Streams events of `classes` (empty = all classes) with times in
+    /// `[from, to]` (inclusive), merged into global position order.
+    ///
+    /// Segments outside the class set or time window are pruned on the
+    /// catalogue alone; within a selected segment the time column is
+    /// binary-searched and only in-range payload rows (plus the
+    /// unavoidable pre-range prefix) are decoded.
+    pub fn scan(
+        &self,
+        classes: &[EventClass],
+        from: SimTime,
+        to: SimTime,
+    ) -> Result<Scan<'_>, OpenError> {
+        let mut stats = ScanStats::default();
+        let mut cursors = Vec::new();
+        for (meta, (path, image)) in self.manifest.segments.iter().zip(&self.segments) {
+            let wanted = classes.is_empty() || classes.contains(&meta.class);
+            if !wanted || meta.max_time < from || meta.min_time > to {
+                stats.segments_pruned += 1;
+                continue;
+            }
+            stats.segments_decoded += 1;
+            if let Some(c) = Cursor::open(path, meta, image, from, to, &mut stats.rows_decoded)? {
+                cursors.push(c);
+            }
+        }
+        flush_segment_counters(&stats);
+        Ok(Scan {
+            cursors,
+            manifest_path: self.derived_path.with_file_name(MANIFEST_FILE),
+            error: None,
+            stats,
+        })
+    }
+
+    /// Counts rows of `classes` (empty = all) with times in `[from, to]`
+    /// without decoding a single payload: segments fully inside the
+    /// window answer from the catalogue row count, straddling segments
+    /// decode only their time column. With no time bounds this touches
+    /// no segment bytes at all — the manifest alone answers.
+    pub fn count_rows(
+        &self,
+        classes: &[EventClass],
+        from: SimTime,
+        to: SimTime,
+    ) -> Result<u64, OpenError> {
+        let mut stats = ScanStats::default();
+        let mut n = 0u64;
+        for (meta, (path, image)) in self.manifest.segments.iter().zip(&self.segments) {
+            let wanted = classes.is_empty() || classes.contains(&meta.class);
+            if !wanted || meta.max_time < from || meta.min_time > to {
+                stats.segments_pruned += 1;
+                continue;
+            }
+            if from <= meta.min_time && meta.max_time <= to {
+                // Fully covered: the catalogue row count is the answer.
+                n += meta.events;
+                continue;
+            }
+            stats.segments_decoded += 1;
+            let body = &image[SEG_MAGIC.len() + 1..image.len() - FOOTER_LEN];
+            let mut dec = Dec::new(body);
+            let cols = decode_columns(path, meta, body, &mut dec)?;
+            let lo = cols.times.partition_point(|t| *t < from);
+            let hi = cols.times.partition_point(|t| *t <= to);
+            n += hi.saturating_sub(lo) as u64;
+        }
+        flush_segment_counters(&stats);
+        Ok(n)
+    }
+}

@@ -767,6 +767,8 @@ impl EventStore {
             .flat_map(|&c| self.by_class[c as usize].range(from, to).copied())
             .collect();
         positions.sort_unstable();
+        // A class listed twice must not yield its events twice.
+        positions.dedup();
         self.account(positions.len());
         positions.into_iter().map(move |i| &self.events[i as usize])
     }

@@ -102,6 +102,49 @@ fn event_soup() -> impl Strategy<Value = Vec<LogEvent>> {
     })
 }
 
+/// Arbitrary `QueryFilter`s spanning every predicate the planner can
+/// prune on: class subsets (including `Mce`, which the soup never
+/// emits, so class pruning hits empty segment sets), entity predicates
+/// that force full residual streaming, and time windows that straddle,
+/// miss, or invert segment boundaries.
+fn filter_soup() -> impl Strategy<Value = QueryFilter> {
+    use hpc_diagnosis::EventClass;
+    // The vendored mini-proptest has no `option::of`/`subsequence`;
+    // a class bitmask and out-of-range sentinels model the same space.
+    const CLASSES: [EventClass; 9] = [
+        EventClass::KernelPanic,
+        EventClass::NodeVoltageFault,
+        EventClass::NodeHeartbeatFault,
+        EventClass::CpuStall,
+        EventClass::OomKill,
+        EventClass::JobStart,
+        EventClass::JobEnd,
+        EventClass::MemOverallocation,
+        EventClass::Mce, // the soup never emits Mce: empty class pruning
+    ];
+    (
+        0u32..512,            // class subset bitmask
+        0u32..128,            // node; >= 64 means None
+        0u32..128,            // blade seed; >= 64 means None
+        0u32..128,            // cabinet seed; >= 64 means None
+        0u64..440_000_000u64, // from; >= 220M means None
+        0u64..440_000_000u64, // to; >= 220M means None
+    )
+        .prop_map(|(mask, node, blade, cabinet, from, to)| QueryFilter {
+            classes: CLASSES
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask >> i & 1 == 1)
+                .map(|(_, c)| *c)
+                .collect(),
+            node: (node < 64).then_some(NodeId(node)),
+            blade: (blade < 64).then(|| NodeId(blade).blade()),
+            cabinet: (cabinet < 64).then(|| NodeId(cabinet).cabinet()),
+            from: (from < 220_000_000).then(|| SimTime::from_millis(from)),
+            to: (to < 220_000_000).then(|| SimTime::from_millis(to)),
+        })
+}
+
 fn tmpdir(tag: &str) -> PathBuf {
     static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
     let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -252,6 +295,76 @@ proptest! {
         std::fs::remove_dir_all(&dir).ok();
     }
 
+    /// The pruned streaming scan is definitionally a filter: for any
+    /// soup and any filter combination, `plan(...).events()` must yield
+    /// exactly `Store::load` followed by `filter.matches` in order, and
+    /// every planner verb must agree with the in-memory `EventStore`
+    /// verb over the same data. Single-segment stores, empty results and
+    /// windows straddling segment time boundaries all fall out of the
+    /// generators.
+    #[test]
+    fn pruned_scan_equals_full_load_then_filter(
+        events in event_soup(),
+        filter in filter_soup(),
+    ) {
+        let d = Diagnosis::from_events(events, 0, DiagnosisConfig::default());
+        let dir = tmpdir("scan");
+        save(&d, &dir);
+        let store = segment::Store::open(&dir).expect("open");
+
+        // Planner outputs first: `plan` borrows the store, `load` eats it.
+        let plan = query::plan(&store, &filter);
+        let mut planned = plan.events().expect("events");
+        let streamed: Vec<LogEvent> = planned.by_ref().collect();
+        prop_assert!(planned.take_error().is_none(), "mid-stream error");
+        let stats = planned.stats();
+        drop(planned);
+        let count = plan.count().expect("count");
+        let keys = [
+            HistKey::Class,
+            HistKey::Node,
+            HistKey::Blade,
+            HistKey::Cabinet,
+            HistKey::Day,
+            HistKey::Hour,
+        ];
+        let hists: Vec<_> = keys
+            .iter()
+            .map(|k| plan.histogram(*k).expect("histogram"))
+            .collect();
+        let tail = plan.tail(7, SchedulerKind::Slurm).expect("tail");
+        let fails = plan.failures().expect("failures");
+        drop(plan);
+
+        // Brute force: full decode, then the residual predicate alone.
+        let full = store.load().expect("load");
+        let brute: Vec<LogEvent> = full
+            .events
+            .iter()
+            .filter(|e| filter.matches(e))
+            .cloned()
+            .collect();
+        prop_assert_eq!(&streamed, &brute);
+        prop_assert_eq!(count, brute.len() as u64);
+
+        // Pruning must never decode more rows than the store holds, and
+        // pruned + decoded must account for every selected segment.
+        prop_assert!(stats.rows_decoded <= full.manifest.events);
+        prop_assert!(
+            (stats.segments_decoded + stats.segments_pruned) as usize
+                <= full.manifest.segments.len()
+        );
+
+        let mem = EventStore::build(full.events, &full.failures);
+        for (key, hist) in keys.iter().zip(&hists) {
+            prop_assert_eq!(hist, &query::histogram(&mem, &filter, *key));
+        }
+        prop_assert_eq!(tail, query::tail(&mem, &filter, 7, SchedulerKind::Slurm));
+        prop_assert_eq!(fails, query::failures(&full.failures, &filter));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
     /// Any single-byte flip or truncation anywhere in the store either
     /// fails with a clean [`segment::OpenError`] or (for the few bytes the
     /// fingerprint does not cover, e.g. the free-text source label) still
@@ -303,6 +416,102 @@ proptest! {
 
         std::fs::remove_dir_all(&dir).ok();
     }
+}
+
+/// Regression for the `hpc-query tail` rewrite: the stream a tail rides
+/// must stay O(matching segments). With one class selected out of two,
+/// exactly one segment decodes, the other is pruned on the catalogue,
+/// and `rows_decoded` is that segment's row count — never the store's.
+#[test]
+fn tail_stream_decodes_only_matching_segments() {
+    let mut events = Vec::new();
+    for i in 0..40u64 {
+        events.push(LogEvent {
+            time: SimTime::from_millis(i * 1_000),
+            payload: Payload::Console {
+                node: NodeId((i % 8) as u32),
+                detail: ConsoleDetail::CpuStall { cpu: 0 },
+            },
+        });
+        events.push(LogEvent {
+            time: SimTime::from_millis(i * 1_000 + 1),
+            payload: Payload::Console {
+                node: NodeId((i % 8) as u32),
+                detail: ConsoleDetail::OomKill {
+                    victim: AppKind::Python,
+                    pid: 1,
+                },
+            },
+        });
+    }
+    let d = Diagnosis::from_events(events, 0, DiagnosisConfig::default());
+    let dir = tmpdir("tail-stats");
+    save(&d, &dir);
+    let store = segment::Store::open(&dir).expect("open");
+    let n_segments = store.manifest().segments.len();
+    assert!(n_segments >= 2, "two populated classes → two segments");
+
+    let filter = QueryFilter {
+        classes: vec![hpc_diagnosis::EventClass::OomKill],
+        ..QueryFilter::default()
+    };
+    let plan = query::plan(&store, &filter);
+
+    // The tail itself: last 5 oom-kills, oldest first.
+    let rows = plan.tail(5, SchedulerKind::Slurm).expect("tail");
+    assert_eq!(rows.len(), 5);
+    assert_eq!(rows[0].0, SimTime::from_millis(35_001));
+
+    // The stream the tail rode: one segment decoded, the rest pruned,
+    // and only that segment's rows ever touched the payload decoder.
+    let mut ev = plan.events().expect("events");
+    assert_eq!(ev.by_ref().count(), 40);
+    assert!(ev.take_error().is_none());
+    let stats = ev.stats();
+    assert_eq!(stats.segments_decoded, 1);
+    assert_eq!(stats.segments_pruned, (n_segments - 1) as u64);
+    assert_eq!(stats.rows_decoded, 40);
+
+    // A class-only count is served from the catalogue: no rows decoded.
+    assert_eq!(plan.count().expect("count"), 40);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A time window that clips one segment must decode only up to the
+/// window's upper row bound: trailing rows past `hi` are never decoded.
+#[test]
+fn time_clipped_scan_stops_at_the_binary_searched_bound() {
+    let events: Vec<LogEvent> = (0..100u64)
+        .map(|i| LogEvent {
+            time: SimTime::from_millis(i * 1_000),
+            payload: Payload::Console {
+                node: NodeId((i % 4) as u32),
+                detail: ConsoleDetail::CpuStall { cpu: 0 },
+            },
+        })
+        .collect();
+    let d = Diagnosis::from_events(events, 0, DiagnosisConfig::default());
+    let dir = tmpdir("clip");
+    save(&d, &dir);
+    let store = segment::Store::open(&dir).expect("open");
+
+    // [10s, 20s) selects rows 10..=19; rows 0..10 are decode-and-skip
+    // (payload columns carry no offsets), rows 20..100 never decode.
+    let filter = QueryFilter {
+        from: Some(SimTime::from_millis(10_000)),
+        to: Some(SimTime::from_millis(20_000)),
+        ..QueryFilter::default()
+    };
+    let plan = query::plan(&store, &filter);
+    let mut ev = plan.events().expect("events");
+    assert_eq!(ev.by_ref().count(), 10);
+    assert!(ev.take_error().is_none());
+    let stats = ev.stats();
+    assert_eq!(stats.segments_decoded, 1);
+    assert_eq!(stats.rows_decoded, 20, "rows 0..hi only, never past hi");
+
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -10,6 +10,9 @@
 //!   --backfill NAME=STORE[,t0_ms,t1_ms]
 //!                             pre-warm NAME from a segment store,
 //!                             optionally range-pruned (load_range)
+//!   --query-store NAME=DIR    serve /v1/systems/NAME/query straight
+//!                             from the segment store at DIR (lazy
+//!                             planner; no full decode at startup)
 //!
 //! options:
 //!   --listen ADDR             bind address (default 127.0.0.1:8080)
@@ -24,7 +27,7 @@
 //!
 //! Endpoints: `/v1/systems`, `/v1/systems/{id}`, `/{id}/window`,
 //! `/{id}/alerts`, `/{id}/failures`, `/{id}/report` (cached, ETag/304),
-//! `/metrics`. SIGINT/SIGTERM drain gracefully: the acceptor stops,
+//! `/{id}/query` (with `--query-store`), `/metrics`. SIGINT/SIGTERM drain gracefully: the acceptor stops,
 //! in-flight responses complete, shards finish their engines, the final
 //! telemetry prints, exit 0.
 
@@ -37,7 +40,7 @@ use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
 use hpc_fleet::shard::{self, BackfillSpec, Feed, ShardConfig};
-use hpc_fleet::{serve, Fleet, ServerConfig};
+use hpc_fleet::{serve, Fleet, QueryStore, ServerConfig};
 use hpc_logs::time::{SimDuration, SimTime};
 use hpc_stream::StreamConfig;
 
@@ -67,7 +70,8 @@ fn install_signal_handlers() {}
 fn usage() -> ! {
     eprintln!(
         "usage: hpc-fleetd (--system NAME=DIR | --replay NAME=DIR | --stdin NAME)... \
-         [--backfill NAME=STORE[,t0_ms,t1_ms]] [--listen ADDR] [--workers N] [--queue N] \
+         [--backfill NAME=STORE[,t0_ms,t1_ms]] [--query-store NAME=DIR] \
+         [--listen ADDR] [--workers N] [--queue N] \
          [--watermark-mins N] [--window-mins N] [--poll-ms N] \
          [--telemetry-json PATH] [--quiet]"
     );
@@ -83,6 +87,7 @@ enum FeedSpec {
 struct Options {
     feeds: Vec<FeedSpec>,
     backfills: Vec<(String, BackfillSpec)>,
+    query_stores: Vec<(String, PathBuf)>,
     listen: String,
     workers: usize,
     queue: usize,
@@ -96,6 +101,7 @@ fn parse_args() -> Options {
     let mut opts = Options {
         feeds: Vec::new(),
         backfills: Vec::new(),
+        query_stores: Vec::new(),
         listen: "127.0.0.1:8080".to_string(),
         workers: 4,
         queue: 64,
@@ -147,6 +153,10 @@ fn parse_args() -> Options {
                 }
                 opts.backfills
                     .push((name, BackfillSpec { store, from, to }));
+            }
+            "--query-store" => {
+                let (name, dir) = name_eq(&value(&mut args));
+                opts.query_stores.push((name, dir));
             }
             "--listen" => opts.listen = value(&mut args),
             "--workers" => match value(&mut args).parse() {
@@ -201,6 +211,12 @@ fn parse_args() -> Options {
     for (name, _) in &opts.backfills {
         if !names.iter().any(|n| n == name) {
             eprintln!("hpc-fleetd: --backfill names unknown system `{name}`");
+            exit(2);
+        }
+    }
+    for (name, _) in &opts.query_stores {
+        if !names.iter().any(|n| n == name) {
+            eprintln!("hpc-fleetd: --query-store names unknown system `{name}`");
             exit(2);
         }
     }
@@ -275,12 +291,27 @@ fn main() {
         })
     });
 
-    let fleet = Fleet::new(
+    let mut fleet = Fleet::new(
         shards
             .iter()
             .map(|s| (s.name.clone(), Arc::clone(&s.slot)))
             .collect(),
     );
+    // Query stores open-validate (checksums, footers, fingerprint) but
+    // decode nothing; a corrupt store should fail startup, not a request.
+    for (name, dir) in &opts.query_stores {
+        match QueryStore::open(dir) {
+            Ok(qs) => fleet = fleet.with_query_store(name, qs),
+            Err(e) => {
+                eprintln!("hpc-fleetd: --query-store {name}: {e}");
+                shutdown.store(true, Ordering::SeqCst);
+                for s in shards {
+                    s.join();
+                }
+                exit(1);
+            }
+        }
+    }
     let server = match serve(
         listener,
         fleet,

@@ -29,8 +29,12 @@ pub const MAX_HEADERS: usize = 64;
 pub struct Request {
     /// `GET` or `HEAD` (anything else is rejected with 405).
     pub method: Method,
-    /// Request target as sent (path + optional query, query ignored).
+    /// Request target path, with any query string split off.
     pub path: String,
+    /// Raw query string after `?` (empty when absent). Values are taken
+    /// literally — no percent-decoding — which covers every parameter
+    /// the read API accepts.
+    pub query: String,
     /// Header name/value pairs, names lower-cased.
     pub headers: Vec<(String, String)>,
     /// Whether the connection may serve another request after this one.
@@ -53,6 +57,16 @@ impl Request {
             .iter()
             .find(|(k, _)| k == name)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// The query string as `(key, value)` pairs in request order. A
+    /// parameter without `=` yields an empty value; empty `&&` runs are
+    /// skipped.
+    pub fn params(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.query
+            .split('&')
+            .filter(|p| !p.is_empty())
+            .map(|p| p.split_once('=').unwrap_or((p, "")))
     }
 }
 
@@ -133,10 +147,15 @@ pub fn parse_request(buf: &[u8]) -> Parse {
         headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
     }
 
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
     let req = Request {
         keep_alive: keep_alive(http11, &headers),
         method,
-        path: target.split('?').next().unwrap_or("").to_string(),
+        path: path.to_string(),
+        query: query.to_string(),
         headers,
     };
     if req.header("content-length").is_some_and(|v| v != "0")
@@ -253,6 +272,7 @@ pub fn status_text(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         411 => "Length Required",
         431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
         503 => "Service Unavailable",
         505 => "HTTP Version Not Supported",
         _ => "Response",
@@ -376,12 +396,38 @@ mod tests {
     }
 
     #[test]
-    fn http10_defaults_to_close_and_query_strings_are_stripped() {
+    fn http10_defaults_to_close_and_query_strings_split_off_the_path() {
         let Parse::Complete(req, _) = parse("GET /v1/systems?x=1 HTTP/1.0\r\n\r\n") else {
             panic!("must parse");
         };
         assert!(!req.keep_alive);
         assert_eq!(req.path, "/v1/systems");
+        assert_eq!(req.query, "x=1");
+    }
+
+    #[test]
+    fn query_params_iterate_in_order_with_literal_values() {
+        let raw = "GET /v1/systems/S1/query?verb=count&class=mce&class=disk_error&flag&from=2016-01-03T00:00:00.000 HTTP/1.1\r\n\r\n";
+        let Parse::Complete(req, _) = parse(raw) else {
+            panic!("must parse");
+        };
+        assert_eq!(req.path, "/v1/systems/S1/query");
+        let params: Vec<(&str, &str)> = req.params().collect();
+        assert_eq!(
+            params,
+            vec![
+                ("verb", "count"),
+                ("class", "mce"),
+                ("class", "disk_error"),
+                ("flag", ""),
+                ("from", "2016-01-03T00:00:00.000"),
+            ]
+        );
+        // No query string at all iterates to nothing.
+        let Parse::Complete(bare, _) = parse("GET /v1/systems HTTP/1.1\r\n\r\n") else {
+            panic!("must parse");
+        };
+        assert_eq!(bare.params().count(), 0);
     }
 
     #[test]

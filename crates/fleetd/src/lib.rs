@@ -22,14 +22,18 @@
 //!
 //! Endpoints: `/v1/systems`, `/v1/systems/{id}`,
 //! `/v1/systems/{id}/window`, `/v1/systems/{id}/alerts`,
-//! `/v1/systems/{id}/failures`, `/v1/systems/{id}/report`, `/metrics`.
-//! See DESIGN.md §13 for the architecture contract.
+//! `/v1/systems/{id}/failures`, `/v1/systems/{id}/report`,
+//! `/v1/systems/{id}/query`, `/metrics`. The `query` endpoint is a
+//! passthrough to the lazy segment-store planner (`--query-store`): it
+//! answers count/histogram/tail/failures straight from an on-disk store
+//! via [`server::QueryStore`], pruning segments on the manifest before
+//! decoding a row. See DESIGN.md §13/§14 for the architecture contract.
 
 pub mod http;
 pub mod server;
 pub mod shard;
 pub mod snapshot;
 
-pub use server::{serve, Fleet, ServerConfig, ServerHandle};
+pub use server::{serve, Fleet, QueryStore, ServerConfig, ServerHandle};
 pub use shard::{spawn, BackfillSpec, Feed, ShardConfig, ShardHandle};
 pub use snapshot::{SnapshotSlot, SystemSnapshot};

@@ -24,12 +24,20 @@
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use hpc_diagnosis::detection::DetectedFailure;
+use hpc_diagnosis::query::{self, HistKey, QueryFilter};
+use hpc_diagnosis::segment::{OpenError, Store};
+use hpc_logs::event::parse_nid;
+use hpc_logs::time::SimTime;
+use hpc_platform::system::SchedulerKind;
+use hpc_platform::{BladeId, CabinetId, NodeId};
 use hpc_telemetry::json::JsonValue;
 
 use crate::http::{parse_request, Method, Parse, Request, Response, MAX_HEAD_BYTES};
@@ -63,21 +71,64 @@ impl Default for ServerConfig {
     }
 }
 
+/// A validated segment store a system serves `/query` reads from:
+/// opened once at startup, decoded lazily per query by the planner.
+pub struct QueryStore {
+    store: Store,
+    /// Derived failures, decoded once — the `failures` verb needs no
+    /// event rows at all.
+    failures: Vec<DetectedFailure>,
+    scheduler: SchedulerKind,
+}
+
+impl QueryStore {
+    /// Opens and validates the store in `dir` ([`Store::open`] — no row
+    /// decode) and pre-decodes the derived failures.
+    pub fn open(dir: &Path) -> Result<QueryStore, OpenError> {
+        let store = Store::open(dir)?;
+        let derived = store.derived()?;
+        Ok(QueryStore {
+            scheduler: store.manifest().scheduler,
+            failures: derived.failures,
+            store,
+        })
+    }
+}
+
 /// The systems the server serves: `(name, slot)` pairs, name order is
-/// listing order.
+/// listing order. A system may additionally carry a [`QueryStore`]
+/// backing its `/query` endpoint.
 pub struct Fleet {
     systems: Vec<(String, Arc<SnapshotSlot>)>,
+    query_stores: Vec<(String, QueryStore)>,
 }
 
 impl Fleet {
     /// A fleet over the given `(name, slot)` pairs.
     pub fn new(systems: Vec<(String, Arc<SnapshotSlot>)>) -> Fleet {
         hpc_telemetry::gauge("fleetd.shards").set(systems.len() as f64);
-        Fleet { systems }
+        Fleet {
+            systems,
+            query_stores: Vec::new(),
+        }
+    }
+
+    /// Attaches a query store to system `name`, enabling its
+    /// `/v1/systems/{name}/query` endpoint.
+    pub fn with_query_store(mut self, name: &str, store: QueryStore) -> Fleet {
+        self.query_stores.push((name.to_string(), store));
+        self
     }
 
     fn slot(&self, name: &str) -> Option<&Arc<SnapshotSlot>> {
         self.systems.iter().find(|(n, _)| n == name).map(|(_, s)| s)
+    }
+
+    fn query_store(&self, name: &str) -> Option<&QueryStore> {
+        self.query_stores
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| s)
     }
 }
 
@@ -318,6 +369,13 @@ pub fn route(req: &Request, fleet: &Fleet) -> Response {
         "window" => Response::json(200, snap.window_json().to_string()),
         "alerts" => Response::json(200, snap.alerts_json().to_string()),
         "failures" => Response::json(200, snap.failures_json().to_string()),
+        "query" => match fleet.query_store(id) {
+            Some(qs) => {
+                hpc_telemetry::counter("fleetd.query.requests").inc();
+                answer_query(req, qs)
+            }
+            None => Response::error(404, "no query store configured for this system"),
+        },
         "report" => {
             let etag = snap.etag();
             if req.header("if-none-match").is_some_and(|v| v == etag) {
@@ -334,15 +392,112 @@ pub fn route(req: &Request, fleet: &Fleet) -> Response {
     }
 }
 
+/// Serves `/v1/systems/{id}/query?...` straight from the configured
+/// segment store through the lazy planner — the store-backed read path.
+///
+/// Parameters mirror the `hpc-query` CLI: `verb=count|histogram|tail|
+/// failures` (required), repeatable `class=<key>`, `node=<nid00042|42>`,
+/// `blade=<id>`, `cabinet=<id>`, `from=`/`to=` (ISO timestamp or epoch
+/// ms; `[from, to)`), `by=<dim>` for histograms, `n=<N>` for tail.
+/// Unknown or malformed parameters are a 400, never a guess.
+fn answer_query(req: &Request, qs: &QueryStore) -> Response {
+    use hpc_diagnosis::store::EventClass;
+
+    let bad = |why: String| Response::error(400, &why);
+    let mut verb: Option<&str> = None;
+    let mut by: Option<HistKey> = None;
+    let mut n: usize = 10;
+    let mut filter = QueryFilter::default();
+
+    let parse_time = |v: &str| -> Option<SimTime> {
+        SimTime::parse(v).or_else(|| v.parse::<u64>().ok().map(SimTime::from_millis))
+    };
+    for (k, v) in req.params() {
+        match k {
+            "verb" => verb = Some(v),
+            "class" => match EventClass::from_key(v) {
+                Some(c) => filter.classes.push(c),
+                None => return bad(format!("unknown event class `{v}`")),
+            },
+            "node" => match parse_nid(v).or_else(|| v.parse::<u32>().ok().map(NodeId)) {
+                Some(node) => filter.node = Some(node),
+                None => return bad(format!("invalid node `{v}`")),
+            },
+            "blade" => match v.parse::<u32>() {
+                Ok(id) => filter.blade = Some(BladeId(id)),
+                Err(_) => return bad(format!("invalid blade `{v}`")),
+            },
+            "cabinet" => match v.parse::<u32>() {
+                Ok(id) => filter.cabinet = Some(CabinetId(id)),
+                Err(_) => return bad(format!("invalid cabinet `{v}`")),
+            },
+            "from" => match parse_time(v) {
+                Some(t) => filter.from = Some(t),
+                None => return bad(format!("invalid time `{v}`")),
+            },
+            "to" => match parse_time(v) {
+                Some(t) => filter.to = Some(t),
+                None => return bad(format!("invalid time `{v}`")),
+            },
+            "by" => match HistKey::parse(v) {
+                Some(key) => by = Some(key),
+                None => return bad(format!("unknown histogram dimension `{v}`")),
+            },
+            "n" => match v.parse::<usize>() {
+                Ok(count) => n = count,
+                Err(_) => return bad(format!("invalid tail count `{v}`")),
+            },
+            _ => return bad(format!("unknown query parameter `{k}`")),
+        }
+    }
+
+    // A decode error after a fully validated open means the store went
+    // bad underneath us — the client did nothing wrong.
+    let failed = |e: OpenError| Response::error(500, &e.to_string());
+    let plan = query::plan(&qs.store, &filter);
+    match verb {
+        Some("count") => match plan.count() {
+            Ok(total) => Response::json(200, query::render_count_json(total).to_string()),
+            Err(e) => failed(e),
+        },
+        Some("histogram") => {
+            let Some(key) = by else {
+                return bad("histogram needs by=<class|node|blade|cabinet|day|hour>".to_string());
+            };
+            match plan.histogram(key) {
+                Ok(buckets) => {
+                    Response::json(200, query::render_histogram_json(key, &buckets).to_string())
+                }
+                Err(e) => failed(e),
+            }
+        }
+        Some("tail") => match plan.tail(n, qs.scheduler) {
+            Ok(rows) => Response::json(200, query::render_tail_json(&rows).to_string()),
+            Err(e) => failed(e),
+        },
+        Some("failures") => {
+            let rows = query::failures(&qs.failures, &filter);
+            Response::json(200, query::render_failures_json(&rows).to_string())
+        }
+        Some(other) => bad(format!("unknown verb `{other}`")),
+        None => bad("query needs verb=<count|histogram|tail|failures>".to_string()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::http::Method;
 
     fn req(path: &str) -> Request {
+        let (path, query) = match path.split_once('?') {
+            Some((p, q)) => (p, q),
+            None => (path, ""),
+        };
         Request {
             method: Method::Get,
             path: path.to_string(),
+            query: query.to_string(),
             headers: Vec::new(),
             keep_alive: true,
         }
@@ -395,6 +550,118 @@ mod tests {
             .headers
             .push(("if-none-match".to_string(), "\"S1-g999\"".to_string()));
         assert_eq!(route(&stale, &f).status, 200);
+    }
+
+    fn query_fleet(dir: &std::path::Path) -> Fleet {
+        use hpc_diagnosis::segment::{write_store, StoreContents};
+        use hpc_logs::event::{ConsoleDetail, LogEvent, Payload};
+
+        let events: Vec<LogEvent> = (0..8)
+            .map(|i| LogEvent {
+                time: SimTime::from_millis(1_000 * (i as u64)),
+                payload: Payload::Console {
+                    node: NodeId(i % 3),
+                    detail: if i % 2 == 0 {
+                        ConsoleDetail::DiskError
+                    } else {
+                        ConsoleDetail::CpuStall { cpu: 0 }
+                    },
+                },
+            })
+            .collect();
+        write_store(
+            dir,
+            &StoreContents {
+                events: &events,
+                failures: &[],
+                swos: &[],
+                swo_failures: &[],
+                skipped_lines: 0,
+                total_lines: 8,
+                scheduler: SchedulerKind::Slurm,
+                source: "unit-test",
+            },
+        )
+        .unwrap();
+        fleet().with_query_store("S1", QueryStore::open(dir).unwrap())
+    }
+
+    #[test]
+    fn query_endpoint_answers_from_the_configured_store() {
+        let dir = std::env::temp_dir().join(format!("fleetd-query-route-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let f = query_fleet(&dir);
+
+        // Count with a class filter comes straight from the catalogue.
+        let resp = route(&req("/v1/systems/S1/query?verb=count&class=disk_error"), &f);
+        assert_eq!(resp.status, 200);
+        let body = hpc_telemetry::json::parse(&String::from_utf8(resp.body).unwrap()).unwrap();
+        assert_eq!(body.get("count").unwrap().as_number(), Some(4.0));
+
+        // Histogram and tail also answer.
+        let hist = route(&req("/v1/systems/S1/query?verb=histogram&by=class"), &f);
+        assert_eq!(hist.status, 200);
+        let tail = route(&req("/v1/systems/S1/query?verb=tail&n=3"), &f);
+        assert_eq!(tail.status, 200);
+        let body = hpc_telemetry::json::parse(&String::from_utf8(tail.body).unwrap()).unwrap();
+        assert_eq!(
+            body.get("events")
+                .and_then(JsonValue::as_array)
+                .unwrap()
+                .len(),
+            3
+        );
+        let fails = route(&req("/v1/systems/S1/query?verb=failures"), &f);
+        assert_eq!(fails.status, 200);
+
+        // Bad requests are 400 with a reason, not guesses.
+        for bad in [
+            "/v1/systems/S1/query",
+            "/v1/systems/S1/query?verb=nope",
+            "/v1/systems/S1/query?verb=count&class=bogus",
+            "/v1/systems/S1/query?verb=count&frobnicate=1",
+            "/v1/systems/S1/query?verb=histogram",
+            "/v1/systems/S1/query?verb=count&from=not-a-time",
+        ] {
+            assert_eq!(route(&req(bad), &f).status, 400, "{bad}");
+        }
+
+        // A system without a store 404s; an unknown system too.
+        assert_eq!(
+            route(&req("/v1/systems/S2/query?verb=count"), &f).status,
+            404
+        );
+        assert_eq!(
+            route(&req("/v1/systems/S9/query?verb=count"), &f).status,
+            404
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn query_endpoint_matches_direct_plan_results() {
+        let dir = std::env::temp_dir().join(format!("fleetd-query-equiv-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let f = query_fleet(&dir);
+
+        let resp = route(
+            &req("/v1/systems/S1/query?verb=count&class=cpu_stall&from=2000&to=6000"),
+            &f,
+        );
+        let body = hpc_telemetry::json::parse(&String::from_utf8(resp.body).unwrap()).unwrap();
+        let via_http = body.get("count").unwrap().as_number().unwrap() as u64;
+
+        let qs = f.query_store("S1").unwrap();
+        let filter = QueryFilter {
+            classes: vec![hpc_diagnosis::store::EventClass::CpuStall],
+            from: Some(SimTime::from_millis(2_000)),
+            to: Some(SimTime::from_millis(6_000)),
+            ..Default::default()
+        };
+        let direct = query::plan(&qs.store, &filter).count().unwrap();
+        assert_eq!(via_http, direct);
+        assert_eq!(direct, 2); // events at 3000 and 5000
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

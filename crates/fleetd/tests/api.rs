@@ -17,7 +17,7 @@ use std::time::{Duration, Instant};
 
 use hpc_faultsim::scenario::Scenario;
 use hpc_fleet::shard::{Feed, ShardConfig};
-use hpc_fleet::{serve, Fleet, ServerConfig};
+use hpc_fleet::{serve, Fleet, QueryStore, ServerConfig};
 use hpc_logs::fs::save_archive;
 use hpc_platform::system::SystemId;
 use hpc_stream::{FollowDir, StreamConfig, StreamEngine};
@@ -91,17 +91,28 @@ struct Server {
 
 impl Server {
     fn start(shard_configs: Vec<ShardConfig>, config: ServerConfig) -> Server {
+        Server::start_with_stores(shard_configs, config, Vec::new())
+    }
+
+    fn start_with_stores(
+        shard_configs: Vec<ShardConfig>,
+        config: ServerConfig,
+        query_stores: Vec<(String, QueryStore)>,
+    ) -> Server {
         let shutdown = Arc::new(AtomicBool::new(false));
         let shards: Vec<_> = shard_configs
             .into_iter()
             .map(|c| hpc_fleet::spawn(c, Arc::clone(&shutdown)).expect("spawn shard"))
             .collect();
-        let fleet = Fleet::new(
+        let mut fleet = Fleet::new(
             shards
                 .iter()
                 .map(|s| (s.name.clone(), Arc::clone(&s.slot)))
                 .collect(),
         );
+        for (name, qs) in query_stores {
+            fleet = fleet.with_query_store(&name, qs);
+        }
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let server = serve(listener, fleet, config, Arc::clone(&shutdown)).unwrap();
         Server {
@@ -385,6 +396,82 @@ fn concurrent_clients_during_live_ingest_see_no_spurious_errors() {
     srv.stop();
     let _ = std::fs::remove_dir_all(&live);
     let _ = std::fs::remove_dir_all(&source);
+}
+
+/// The `/query` passthrough over a real socket: a diagnosis persisted
+/// with `save_store` is attached as a query store, and every verb's HTTP
+/// answer must equal querying the planner directly — including filters
+/// that prune down to nothing.
+#[test]
+fn query_endpoint_answers_from_a_real_store_over_http() {
+    use hpc_diagnosis::query::{self, QueryFilter};
+    use hpc_diagnosis::{Diagnosis, DiagnosisConfig, EventClass};
+    use hpc_platform::system::SchedulerKind;
+
+    let feed = tmpdir("query-feed");
+    let store_dir = tmpdir("query-store");
+    generate_feed(&feed, SystemId::S1, 17);
+    let out = Scenario::new(SystemId::S1, 1, 1, 17).run();
+    let d = Diagnosis::from_archive(&out.archive, DiagnosisConfig::default());
+    d.save_store(&store_dir, "api-test", 0, SchedulerKind::Slurm)
+        .unwrap();
+
+    let srv = Server::start_with_stores(
+        vec![replay_config("S1", &feed)],
+        ServerConfig::default(),
+        vec![("S1".to_string(), QueryStore::open(&store_dir).unwrap())],
+    );
+    srv.wait_all_finished();
+
+    let store = hpc_diagnosis::segment::Store::open(&store_dir).unwrap();
+    let body_of = |path: &str| -> JsonValue {
+        let (status, _, body) = get(srv.addr, path, "");
+        assert_eq!(status, 200, "{path}");
+        json::parse(std::str::from_utf8(&body).unwrap()).unwrap()
+    };
+
+    // Unfiltered count == total events in the store.
+    let v = body_of("/v1/systems/S1/query?verb=count");
+    let total = query::plan(&store, &QueryFilter::default())
+        .count()
+        .unwrap();
+    assert_eq!(v.get("count").unwrap().as_number(), Some(total as f64));
+
+    // A class filter answers from the catalogue and matches the planner.
+    let filter = QueryFilter {
+        classes: vec![EventClass::JobStart],
+        ..Default::default()
+    };
+    let direct = query::plan(&store, &filter).count().unwrap();
+    let v = body_of("/v1/systems/S1/query?verb=count&class=job_start");
+    assert_eq!(v.get("count").unwrap().as_number(), Some(direct as f64));
+
+    // A window in the far future prunes every segment: count is 0.
+    let v = body_of("/v1/systems/S1/query?verb=count&from=99999999999999");
+    assert_eq!(v.get("count").unwrap().as_number(), Some(0.0));
+
+    // Histogram bucket totals re-add to the unfiltered count.
+    let v = body_of("/v1/systems/S1/query?verb=histogram&by=class");
+    let buckets = v.get("buckets").and_then(JsonValue::as_array).unwrap();
+    let sum: f64 = buckets
+        .iter()
+        .map(|b| b.get("count").unwrap().as_number().unwrap())
+        .sum();
+    assert_eq!(sum, total as f64);
+
+    // Tail returns at most n, failures parses.
+    let v = body_of("/v1/systems/S1/query?verb=tail&n=5");
+    assert!(v.get("events").and_then(JsonValue::as_array).unwrap().len() <= 5);
+    let v = body_of("/v1/systems/S1/query?verb=failures");
+    assert!(v.get("failures").and_then(JsonValue::as_array).is_some());
+
+    // Liveness endpoints still work alongside the query store.
+    let (status, _, _) = get(srv.addr, "/v1/systems/S1/window", "");
+    assert_eq!(status, 200);
+
+    srv.stop();
+    let _ = std::fs::remove_dir_all(&feed);
+    let _ = std::fs::remove_dir_all(&store_dir);
 }
 
 /// Backpressure is deliberate and bounded: with a one-connection queue

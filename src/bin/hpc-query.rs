@@ -21,13 +21,19 @@
 //! in-memory `EventStore` built from the same archive (the round-trip
 //! proptests in `crates/core/tests` enforce exactly that). Text output is
 //! the default; `--json` emits one pretty-printed JSON document.
+//!
+//! Queries run through the lazy planner (`query::plan`): segments the
+//! filter cannot touch are pruned on the manifest catalogue, a
+//! class-only `count` is answered from manifest row counts without
+//! decoding a row, and `tail` streams through a bounded ring — the full
+//! event vector is never materialised.
 
 use std::path::Path;
 use std::process::exit;
 
 use hpc_node_failures::diagnosis::query::{self, HistKey, QueryFilter};
 use hpc_node_failures::diagnosis::segment;
-use hpc_node_failures::diagnosis::{EventClass, EventStore};
+use hpc_node_failures::diagnosis::EventClass;
 use hpc_node_failures::logs::event::parse_nid;
 use hpc_node_failures::logs::time::SimTime;
 use hpc_node_failures::platform::{BladeId, CabinetId, NodeId};
@@ -129,20 +135,25 @@ fn main() {
         }
     }
 
-    let opened = match segment::open_store(Path::new(store_dir)) {
-        Ok(o) => o,
+    // Validate-everything open — checksums, footers, fingerprint — but
+    // decode nothing. Each verb decodes only what its plan selects.
+    let store = match segment::Store::open(Path::new(store_dir)) {
+        Ok(s) => s,
         Err(e) => {
             eprintln!("{e}");
             exit(1);
         }
     };
-    let scheduler = opened.manifest.scheduler;
-    let failures = opened.failures.clone();
-    let store = EventStore::build(opened.events, &failures);
+    let scheduler = store.manifest().scheduler;
+    let die = |e: segment::OpenError| -> ! {
+        eprintln!("{e}");
+        exit(1);
+    };
+    let plan = query::plan(&store, &filter);
 
     match verb {
         "count" => {
-            let n = query::count(&store, &filter);
+            let n = plan.count().unwrap_or_else(|e| die(e));
             if json {
                 print!("{}", query::render_count_json(n).pretty());
             } else {
@@ -153,7 +164,7 @@ fn main() {
             let key = by.unwrap_or_else(|| {
                 bad("histogram needs --by <class|node|blade|cabinet|day|hour>".to_string())
             });
-            let buckets = query::histogram(&store, &filter, key);
+            let buckets = plan.histogram(key).unwrap_or_else(|e| die(e));
             if json {
                 print!("{}", query::render_histogram_json(key, &buckets).pretty());
             } else {
@@ -161,7 +172,7 @@ fn main() {
             }
         }
         "tail" => {
-            let rows = query::tail(&store, &filter, tail_n, scheduler);
+            let rows = plan.tail(tail_n, scheduler).unwrap_or_else(|e| die(e));
             if json {
                 print!("{}", query::render_tail_json(&rows).pretty());
             } else {
@@ -169,7 +180,7 @@ fn main() {
             }
         }
         "failures" => {
-            let rows = query::failures(&failures, &filter);
+            let rows = plan.failures().unwrap_or_else(|e| die(e));
             if json {
                 print!("{}", query::render_failures_json(&rows).pretty());
             } else {
